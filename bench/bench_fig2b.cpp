@@ -1,0 +1,95 @@
+// Figure 2(b) — "Overhead of Providing Reliability" (§4.3).
+//
+// The paper varies the heartbeat interval from 50 ms to 10 s with 50 client
+// threads and two region servers and plots throughput and response time:
+// very short intervals add contention on the synchronized tracking
+// structures (FQ/FQ' at the client, the persist queue + WAL sync at the
+// servers), very long intervals batch more tracking work per heartbeat; a
+// good value lies in between.
+//
+// We additionally report the "tracking disabled" configuration (recovery
+// middleware off) as the zero-overhead reference — §4.3's claim is that the
+// overhead against this baseline is small at a sensible interval.
+#include "bench/bench_common.h"
+
+using namespace tfr;
+using namespace tfr::bench;
+
+namespace {
+
+constexpr std::uint64_t kRows = 20'000;
+constexpr int kRegions = 4;
+
+DriverReport run_point(Testbed& bed, Micros duration) {
+  WorkloadConfig w;
+  w.num_rows = kRows;
+  DriverConfig d;
+  d.threads = 50;
+  d.target_tps = 0;  // closed loop: measure capacity under contention
+  d.duration = duration;
+  YcsbDriver driver(bed, w, d);
+  return driver.run();
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 2(b): transaction tracking overheads",
+               "throughput & response time vs heartbeat interval (50ms..10s), "
+               "50 client threads, 2 region servers");
+
+  const Micros point_duration = scaled(seconds(5));
+
+  // Zero-overhead reference: no recovery middleware at all.
+  double baseline_tps = 0;
+  {
+    TestbedConfig cfg = paper_config(2, false);
+    cfg.enable_recovery = false;
+    Testbed bed(cfg);
+    if (auto s = prepare(bed, kRows, kRegions); !s.is_ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    const auto r = run_point(bed, point_duration);
+    baseline_tps = r.throughput_tps;
+    print_report_row("tracking disabled", r);
+  }
+
+  const Micros intervals[] = {millis(50),   millis(100),  millis(250), millis(500),
+                              millis(1000), millis(2500), millis(5000), millis(10000)};
+
+  Testbed bed(paper_config(2, false));
+  if (auto s = prepare(bed, kRows, kRegions); !s.is_ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-14s %-12s %-12s %-12s\n", "interval_ms", "tps", "mean_ms", "p99_ms");
+  double best_tps = 0;
+  double tps_at_50ms = 0;
+  for (const Micros interval : intervals) {
+    bed.client().set_heartbeat_interval(interval);
+    for (int si = 0; si < bed.cluster().num_servers(); ++si) {
+      bed.cluster().server(si).set_heartbeat_interval(interval);
+    }
+    const auto r = run_point(bed, point_duration);
+    std::printf("%-14lld %-12.1f %-12.2f %-12.2f\n",
+                static_cast<long long>(interval / 1000), r.throughput_tps, r.mean_latency_ms,
+                r.p99_latency_ms);
+    best_tps = std::max(best_tps, r.throughput_tps);
+    if (interval == millis(50)) tps_at_50ms = r.throughput_tps;
+    if (!bed.client().wait_flushed(seconds(60))) {
+      std::fprintf(stderr, "flush backlog did not drain between points\n");
+    }
+  }
+
+  std::printf("\n-- shape check --\n");
+  std::printf("best tracked throughput %.1f tps vs untracked baseline %.1f tps "
+              "(overhead %.1f%%) %s\n",
+              best_tps, baseline_tps, 100.0 * (baseline_tps - best_tps) / baseline_tps,
+              best_tps > 0.85 * baseline_tps ? "[OK: overhead small]" : "[UNEXPECTED]");
+  std::printf("50ms interval reaches %.1f%% of the best interval's throughput %s\n",
+              100.0 * tps_at_50ms / best_tps,
+              tps_at_50ms <= best_tps ? "[OK: short intervals cost]" : "[UNEXPECTED]");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Snapshot analytics — demonstrates the stable-snapshot read mode (§3.2):
+// while an OLTP writer keeps committing and a region server fails and
+// recovers, a read-only "analytics" transaction scans the whole table on a
+// consistent snapshot and always sees an internally consistent total, even
+// though half the cluster is mid-recovery. This is the paper's "the client
+// can at least continue to execute read-only transactions on older
+// snapshots of the data" in action.
+//
+//   $ ./examples/snapshot_analytics
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/testbed/testbed.h"
+
+using namespace tfr;
+
+namespace {
+
+constexpr std::uint64_t kRows = 2000;
+constexpr long long kUnitsPerRow = 50;
+
+long long scan_total(Transaction& txn) {
+  auto cells = txn.scan("", "", 0);
+  if (!cells.is_ok()) return -1;
+  long long total = 0;
+  for (const auto& c : cells.value()) total += std::stoll(c.value);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWARN);
+
+  Testbed bed(fast_test_config(/*num_servers=*/3, /*num_clients=*/2));
+  if (!bed.start().is_ok() || !bed.create_table("inventory", kRows, 6).is_ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // Seed: every row holds kUnitsPerRow units. Writers below only MOVE units
+  // between rows, so every consistent snapshot sums to the same total.
+  std::printf("seeding %llu rows x %lld units...\n",
+              static_cast<unsigned long long>(kRows), kUnitsPerRow);
+  for (std::uint64_t base = 0; base < kRows; base += 500) {
+    Transaction txn = bed.client(0).begin("inventory");
+    for (std::uint64_t i = base; i < std::min(kRows, base + 500); ++i) {
+      txn.put(Testbed::row_key(i), "units", std::to_string(kUnitsPerRow));
+    }
+    if (!txn.commit().is_ok()) return 1;
+  }
+  bed.client(0).wait_flushed();
+  bed.wait_stable(bed.tm().current_ts());
+  const long long expected = static_cast<long long>(kRows) * kUnitsPerRow;
+
+  // OLTP writer: keeps moving units between random rows.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(11);
+    while (!stop) {
+      const auto from = rng.next_below(kRows);
+      auto to = rng.next_below(kRows);
+      if (to == from) to = (to + 1) % kRows;
+      Transaction txn = bed.client(0).begin("inventory");
+      auto f = txn.get(Testbed::row_key(from), "units");
+      auto t = txn.get(Testbed::row_key(to), "units");
+      if (!f.is_ok() || !t.is_ok() || !f.value() || !t.value()) {
+        txn.abort();
+        continue;
+      }
+      const long long fv = std::stoll(*f.value());
+      if (fv < 3) {
+        txn.abort();
+        continue;
+      }
+      txn.put(Testbed::row_key(from), "units", std::to_string(fv - 3));
+      txn.put(Testbed::row_key(to), "units", std::to_string(std::stoll(*t.value()) + 3));
+      (void)txn.commit();
+    }
+  });
+
+  // Analytics reader: full-table scans on stable snapshots, including while
+  // a server fails and recovers.
+  int consistent = 0, scans = 0;
+  auto run_scan = [&](const char* phase) {
+    Transaction txn = bed.client(1).begin("inventory");
+    const long long total = scan_total(txn);
+    txn.abort();
+    ++scans;
+    const bool ok = total == expected;
+    consistent += ok ? 1 : 0;
+    std::printf("  scan #%d (%s, snapshot ts %lld): total=%lld %s\n", scans, phase,
+                static_cast<long long>(txn.snapshot_ts()), total,
+                ok ? "[consistent]" : "[INCONSISTENT!]");
+  };
+
+  std::printf("\nscanning during normal processing:\n");
+  for (int i = 0; i < 3; ++i) run_scan("normal");
+
+  std::printf("\ncrashing rs1; scanning during detection + recovery:\n");
+  bed.crash_server(0);
+  for (int i = 0; i < 3; ++i) run_scan("during failover");
+  bed.wait_server_recoveries(1);
+  bed.wait_for_recovery();
+
+  std::printf("\nscanning after recovery:\n");
+  for (int i = 0; i < 3; ++i) run_scan("after recovery");
+
+  stop = true;
+  writer.join();
+  bed.client(0).wait_flushed();
+
+  std::printf("\n%d/%d scans saw a consistent snapshot total of %lld\n", consistent, scans,
+              expected);
+  if (consistent != scans) {
+    std::fprintf(stderr, "FAILED: some scan observed a torn state\n");
+    return 1;
+  }
+  std::printf("OK: read-only analytics stayed consistent through the failure.\n");
+  bed.stop();
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run every paper-reproduction benchmark sequentially and collect the output.
+# Usage: scripts/run_benches.sh [build-dir] [output-file]
+# Honour TFR_BENCH_SCALE (e.g. 0.3) for quicker smoke runs.
+set -u
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$OUT"
+  "$b" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,21 @@
+#include "src/common/clock.h"
+
+namespace tfr {
+
+namespace {
+const std::chrono::steady_clock::time_point g_process_start = std::chrono::steady_clock::now();
+}  // namespace
+
+Micros now_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               g_process_start)
+      .count();
+}
+
+Micros wall_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace tfr

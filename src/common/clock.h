@@ -1,0 +1,40 @@
+// Time utilities. All components take time from free functions here so that
+// tests can reason in microseconds and benches in wall-clock seconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace tfr {
+
+using Micros = std::int64_t;
+
+/// Monotonic time in microseconds since an arbitrary epoch (process start).
+Micros now_micros();
+
+/// Wall-clock time in microseconds since the Unix epoch (for log lines).
+Micros wall_micros();
+
+inline void sleep_micros(Micros us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+inline void sleep_millis(std::int64_t ms) { sleep_micros(ms * 1000); }
+
+constexpr Micros millis(std::int64_t ms) { return ms * 1000; }
+constexpr Micros seconds(std::int64_t s) { return s * 1'000'000; }
+
+/// Measures elapsed time from construction (or the last reset()).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_micros()) {}
+  void reset() { start_ = now_micros(); }
+  Micros elapsed_micros() const { return now_micros() - start_; }
+  double elapsed_seconds() const { return static_cast<double>(elapsed_micros()) / 1e6; }
+
+ private:
+  Micros start_;
+};
+
+}  // namespace tfr

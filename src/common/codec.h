@@ -1,0 +1,93 @@
+// Binary encoding helpers for WAL records, store-file blocks, and the
+// transaction-manager recovery log. Fixed-width little-endian integers and
+// length-prefixed strings; intentionally simple and fully checked on decode.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace tfr {
+
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void put_u32(std::uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->append(buf, 4);
+  }
+
+  void put_u64(std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->append(buf, 8);
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool done() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  Status get_u8(std::uint8_t* v) {
+    if (remaining() < 1) return Status::corruption("truncated u8");
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::ok();
+  }
+
+  Status get_u32(std::uint32_t* v) {
+    if (remaining() < 4) return Status::corruption("truncated u32");
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return Status::ok();
+  }
+
+  Status get_u64(std::uint64_t* v) {
+    if (remaining() < 8) return Status::corruption("truncated u64");
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return Status::ok();
+  }
+
+  Status get_i64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    TFR_RETURN_IF_ERROR(get_u64(&u));
+    *v = static_cast<std::int64_t>(u);
+    return Status::ok();
+  }
+
+  Status get_string(std::string* s) {
+    std::uint32_t len = 0;
+    TFR_RETURN_IF_ERROR(get_u32(&len));
+    if (remaining() < len) return Status::corruption("truncated string");
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::ok();
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tfr

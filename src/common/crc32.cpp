@@ -1,0 +1,36 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace tfr {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+  std::uint32_t crc = 0xffffffff;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table()[(crc ^ c) & 0xff];
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace tfr

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) for storage integrity: WAL record frames and
+// store-file blocks carry a checksum that is verified on read, so a torn or
+// bit-flipped region of the DFS surfaces as Corruption instead of silently
+// wrong data.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tfr {
+
+/// CRC-32C of `data` (software table implementation; speed is irrelevant
+/// next to the simulated I/O latencies).
+std::uint32_t crc32c(std::string_view data);
+
+}  // namespace tfr

@@ -1,0 +1,54 @@
+// Injectable latency models. Every simulated "remote" interaction (RPC hop,
+// DFS sync, DFS block read) charges its cost through a LatencyModel so tests
+// can run at zero latency while benches reproduce the paper's testbed shape.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace tfr {
+
+/// A latency with a fixed base plus exponential jitter. Thread-safe.
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+  LatencyModel(Micros base, Micros jitter_mean) : base_(base), jitter_mean_(jitter_mean) {}
+
+  /// Draw one latency sample (does not sleep).
+  Micros sample() {
+    const Micros base = base_.load(std::memory_order_relaxed);
+    const Micros jitter = jitter_mean_.load(std::memory_order_relaxed);
+    if (jitter <= 0) return base;
+    std::lock_guard lock(mutex_);
+    return base + static_cast<Micros>(rng_.next_exponential(static_cast<double>(jitter)));
+  }
+
+  /// Sleep for one sample (no-op when the model is zero).
+  void charge() {
+    const Micros us = sample();
+    if (us > 0) sleep_micros(us);
+  }
+
+  void set(Micros base, Micros jitter_mean) {
+    base_.store(base, std::memory_order_relaxed);
+    jitter_mean_.store(jitter_mean, std::memory_order_relaxed);
+  }
+
+  bool is_zero() const {
+    return base_.load(std::memory_order_relaxed) == 0 &&
+           jitter_mean_.load(std::memory_order_relaxed) == 0;
+  }
+
+ private:
+  std::atomic<Micros> base_{0};
+  std::atomic<Micros> jitter_mean_{0};
+  std::mutex mutex_;
+  Rng rng_{0xfeedfaceULL};
+};
+
+}  // namespace tfr

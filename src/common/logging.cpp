@@ -1,0 +1,43 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "src/common/clock.h"
+
+namespace tfr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWARN)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDEBUG: return "DEBUG";
+    case LogLevel::kINFO: return "INFO ";
+    case LogLevel::kWARN: return "WARN ";
+    case LogLevel::kERROR: return "ERROR";
+    case LogLevel::kOFF: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+namespace internal {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const char* tag, const std::string& message) {
+  const double t = static_cast<double>(now_micros()) / 1e6;
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%10.4f] %s [%-8s] %s\n", t, level_name(level), tag, message.c_str());
+}
+
+}  // namespace internal
+}  // namespace tfr

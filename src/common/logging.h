@@ -1,0 +1,53 @@
+// Minimal leveled logger. Usage:
+//
+//   TFR_LOG(INFO, "rm") << "server " << sid << " failed, TP(s)=" << tp;
+//
+// The second argument is a component tag ("client", "rs", "rm", ...). The
+// global level defaults to WARN so tests and benches stay quiet; examples
+// raise it to INFO to narrate what the system does.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace tfr {
+
+enum class LogLevel : int { kDEBUG = 0, kINFO = 1, kWARN = 2, kERROR = 3, kOFF = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+bool log_enabled(LogLevel level);
+void log_emit(LogLevel level, const char* tag, const std::string& message);
+
+/// Collects one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level), tag_(tag) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TFR_LOG(level, tag)                                             \
+  if (!::tfr::internal::log_enabled(::tfr::LogLevel::k##level)) {       \
+  } else                                                                \
+    ::tfr::internal::LogLine(::tfr::LogLevel::k##level, tag)
+
+}  // namespace tfr

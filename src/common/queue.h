@@ -1,0 +1,141 @@
+// Thread-safe queues used for WAL sync pipelines, heartbeat work, and the
+// client/server tracking structures of Algorithms 1 and 3.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <variant>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace tfr {
+
+/// Unbounded MPMC blocking queue with close() semantics: after close(),
+/// pushes are ignored and pops drain the remaining items, then return nullopt.
+template <typename T>
+class BlockingQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Waits up to `timeout` for an item; nullopt on timeout or closed+empty.
+  std::optional<T> pop_for(Micros timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, std::chrono::microseconds(timeout),
+                 [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Removes and returns everything currently queued (non-blocking).
+  std::vector<T> drain() {
+    std::lock_guard lock(mutex_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Synchronized min-priority queue keyed by a timestamp, as used for the
+/// FQ / FQ' queues of Algorithm 1 and the PQ queue of Algorithm 3. The
+/// payload travels with the key.
+template <typename Ts, typename Payload = std::monostate>
+class SyncedMinQueue {
+ public:
+  void push(Ts key, Payload payload = {}) {
+    std::lock_guard lock(mutex_);
+    heap_.emplace(key, std::move(payload));
+  }
+
+  /// Smallest key currently queued, if any.
+  std::optional<Ts> head() const {
+    std::lock_guard lock(mutex_);
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().first;
+  }
+
+  /// Removes and returns the smallest element.
+  std::optional<std::pair<Ts, Payload>> pop() {
+    std::lock_guard lock(mutex_);
+    if (heap_.empty()) return std::nullopt;
+    auto item = heap_.top();
+    heap_.pop();
+    return item;
+  }
+
+  /// Removes and returns all elements with key <= bound, smallest first.
+  std::vector<std::pair<Ts, Payload>> pop_through(Ts bound) {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<Ts, Payload>> out;
+    while (!heap_.empty() && heap_.top().first <= bound) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return heap_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Greater {
+    bool operator()(const std::pair<Ts, Payload>& a, const std::pair<Ts, Payload>& b) const {
+      return a.first > b.first;
+    }
+  };
+  mutable std::mutex mutex_;
+  std::priority_queue<std::pair<Ts, Payload>, std::vector<std::pair<Ts, Payload>>, Greater> heap_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,86 @@
+// Deterministic PRNG and the key-choice distributions used by the YCSB-style
+// workload (uniform, zipfian, scrambled zipfian, latest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfr {
+
+/// xoshiro256** — fast, seedable, good statistical quality. Not thread-safe;
+/// give each thread its own instance.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool next_bool(double p);
+
+  /// Exponentially distributed with the given mean (for jittered latencies).
+  double next_exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Interface for integer key-index generators over [0, n).
+class IndexChooser {
+ public:
+  virtual ~IndexChooser() = default;
+  virtual std::uint64_t next(Rng& rng) = 0;
+};
+
+class UniformChooser final : public IndexChooser {
+ public:
+  explicit UniformChooser(std::uint64_t n) : n_(n) {}
+  std::uint64_t next(Rng& rng) override { return rng.next_below(n_); }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Zipfian distribution over [0, n) with parameter theta, using the
+/// Gray et al. rejection-free method as in YCSB's ZipfianGenerator.
+class ZipfianChooser : public IndexChooser {
+ public:
+  explicit ZipfianChooser(std::uint64_t n, double theta = 0.99);
+  std::uint64_t next(Rng& rng) override;
+
+ protected:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+
+  static double zeta(std::uint64_t n, double theta);
+};
+
+/// Zipfian with the popular items scattered across the keyspace (YCSB's
+/// ScrambledZipfianGenerator), so hot keys land on different regions.
+class ScrambledZipfianChooser final : public ZipfianChooser {
+ public:
+  explicit ScrambledZipfianChooser(std::uint64_t n, double theta = 0.99)
+      : ZipfianChooser(n, theta) {}
+  std::uint64_t next(Rng& rng) override;
+};
+
+/// 64-bit finalizer hash (splitmix64 mix); used for key scrambling.
+std::uint64_t hash64(std::uint64_t x);
+
+/// Random printable string of the given length (values for the load phase).
+std::string random_ascii(Rng& rng, std::size_t len);
+
+}  // namespace tfr

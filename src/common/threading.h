@@ -1,0 +1,161 @@
+// Threading helpers: periodic background tasks (heartbeats, WAL syncers,
+// failure detectors), a counting semaphore (server handler pools), and a
+// countdown latch for test/bench synchronization.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/common/clock.h"
+
+namespace tfr {
+
+/// Runs `fn` every `interval` microseconds on a dedicated thread until
+/// stopped. The first run happens after one interval. stop() joins the
+/// thread; it is safe to call from any thread except the task itself and is
+/// idempotent. The interval can be changed while running.
+class PeriodicTask {
+ public:
+  PeriodicTask(std::function<void()> fn, Micros interval)
+      : fn_(std::move(fn)), interval_(interval) {}
+
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start() {
+    std::lock_guard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!running_) return;
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    std::lock_guard lock(mutex_);
+    running_ = false;
+  }
+
+  /// Takes effect immediately: the current wait is interrupted and restarts
+  /// with the new interval (a shorter interval must not have to sit out the
+  /// remainder of a long old one — heartbeat TTLs depend on this).
+  void set_interval(Micros interval) {
+    {
+      std::lock_guard lock(mutex_);
+      interval_ = interval;
+      ++config_epoch_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Run the task body once, immediately, on the caller's thread.
+  void trigger_now() { fn_(); }
+
+  bool running() const {
+    std::lock_guard lock(mutex_);
+    return running_ && !stop_requested_;
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mutex_);
+    while (!stop_requested_) {
+      const auto wait = std::chrono::microseconds(interval_);
+      const std::uint64_t epoch = config_epoch_;
+      cv_.wait_for(lock, wait,
+                   [&] { return stop_requested_ || config_epoch_ != epoch; });
+      if (stop_requested_) break;
+      if (config_epoch_ != epoch) continue;  // reconfigured: restart the wait
+      lock.unlock();
+      fn_();
+      lock.lock();
+    }
+  }
+
+  std::function<void()> fn_;
+  Micros interval_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t config_epoch_ = 0;
+};
+
+/// Counting semaphore with dynamic initial count (models a server's RPC
+/// handler pool: acquiring a slot = occupying a handler for the service time).
+class Semaphore {
+ public:
+  explicit Semaphore(int count) : count_(count) {}
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// RAII slot holder for Semaphore.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& s) : sem_(s) { sem_.acquire(); }
+  ~SemaphoreGuard() { sem_.release(); }
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+
+ private:
+  Semaphore& sem_;
+};
+
+/// One-shot countdown latch.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(int count) : count_(count) {}
+
+  void count_down() {
+    std::lock_guard lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Returns false on timeout.
+  bool wait_for(Micros timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::microseconds(timeout), [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,180 @@
+#include "src/coord/coord.h"
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+namespace {
+std::string key_of(const std::string& group, const std::string& name) {
+  return group + "/" + name;
+}
+}  // namespace
+
+Coord::Coord(Micros check_interval)
+    : checker_([this] { expiry_scan(); }, check_interval) {
+  checker_.start();
+}
+
+Coord::~Coord() { checker_.stop(); }
+
+Status Coord::create_session(const std::string& group, const std::string& name, Micros ttl,
+                             HeartbeatPayload initial_payload) {
+  std::lock_guard lock(mutex_);
+  const auto key = key_of(group, name);
+  auto it = sessions_.find(key);
+  if (it != sessions_.end() && it->second.info.alive) {
+    return Status::already_exists("live session exists: " + key);
+  }
+  Session s;
+  s.info.name = name;
+  s.info.group = group;
+  s.info.payload = initial_payload;
+  s.info.last_heartbeat = now_micros();
+  s.ttl = ttl;
+  sessions_[key] = std::move(s);
+  return Status::ok();
+}
+
+Status Coord::heartbeat(const std::string& group, const std::string& name,
+                        HeartbeatPayload payload) {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(key_of(group, name));
+  if (it == sessions_.end() || !it->second.info.alive) {
+    // The node was already declared dead; its messages are ignored until
+    // recovery completes (paper §3.1). It must terminate itself.
+    return Status::unavailable("session declared dead: " + key_of(group, name));
+  }
+  it->second.info.last_heartbeat = now_micros();
+  it->second.info.payload = payload;
+  return Status::ok();
+}
+
+Status Coord::update_ttl(const std::string& group, const std::string& name, Micros ttl) {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(key_of(group, name));
+  if (it == sessions_.end() || !it->second.info.alive) {
+    return Status::not_found("no live session: " + key_of(group, name));
+  }
+  it->second.ttl = ttl;
+  it->second.info.last_heartbeat = now_micros();
+  return Status::ok();
+}
+
+Status Coord::close_session(const std::string& group, const std::string& name) {
+  SessionInfo info;
+  std::vector<SessionListener> to_notify;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sessions_.find(key_of(group, name));
+    if (it == sessions_.end() || !it->second.info.alive) {
+      return Status::not_found("no live session: " + key_of(group, name));
+    }
+    it->second.info.alive = false;
+    info = it->second.info;
+    sessions_.erase(it);
+    auto lit = listeners_.find(group);
+    if (lit != listeners_.end()) {
+      for (auto& [id, l] : lit->second) to_notify.push_back(l);
+    }
+    ++callbacks_in_flight_;
+  }
+  for (auto& l : to_notify) l(info, /*expired=*/false);
+  {
+    std::lock_guard lock(mutex_);
+    --callbacks_in_flight_;
+  }
+  quiesce_cv_.notify_all();
+  return Status::ok();
+}
+
+std::vector<SessionInfo> Coord::live_sessions(const std::string& group) const {
+  std::lock_guard lock(mutex_);
+  std::vector<SessionInfo> out;
+  for (const auto& [key, s] : sessions_) {
+    if (s.info.group == group && s.info.alive) out.push_back(s.info);
+  }
+  return out;
+}
+
+std::optional<SessionInfo> Coord::session(const std::string& group,
+                                          const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(key_of(group, name));
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+int Coord::add_listener(const std::string& group, SessionListener listener) {
+  std::lock_guard lock(mutex_);
+  const int id = next_listener_id_++;
+  listeners_[group].emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Coord::remove_listener(const std::string& group, int id) {
+  std::unique_lock lock(mutex_);
+  auto it = listeners_.find(group);
+  if (it != listeners_.end()) {
+    auto& vec = it->second;
+    for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
+      if (vit->first == id) {
+        vec.erase(vit);
+        break;
+      }
+    }
+  }
+  // Quiesce: a callback batch may have copied this listener before the
+  // erase; wait until no callback is executing so the caller can safely
+  // destroy the listener's target.
+  quiesce_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
+}
+
+void Coord::put(const std::string& path, std::int64_t value) {
+  std::lock_guard lock(mutex_);
+  kv_[path] = value;
+}
+
+std::optional<std::int64_t> Coord::get(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = kv_.find(path);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Coord::run_expiry_check() { expiry_scan(); }
+
+void Coord::expiry_scan() {
+  std::vector<std::pair<SessionInfo, std::vector<SessionListener>>> expired;
+  {
+    std::lock_guard lock(mutex_);
+    ++callbacks_in_flight_;
+    const Micros now = now_micros();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      Session& s = it->second;
+      if (s.info.alive && now - s.info.last_heartbeat > s.ttl) {
+        s.info.alive = false;
+        TFR_LOG(INFO, "coord") << "session expired: " << it->first
+                               << " (last payload " << s.info.payload << ")";
+        std::vector<SessionListener> to_call;
+        auto lit = listeners_.find(s.info.group);
+        if (lit != listeners_.end()) {
+          for (auto& [id, l] : lit->second) to_call.push_back(l);
+        }
+        expired.emplace_back(s.info, std::move(to_call));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [info, ls] : expired) {
+    for (auto& l : ls) l(info, /*expired=*/true);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    --callbacks_in_flight_;
+  }
+  quiesce_cv_.notify_all();
+}
+
+}  // namespace tfr

@@ -1,0 +1,120 @@
+// minizk — a ZooKeeper-like coordination service, used exactly the way the
+// paper uses ZooKeeper (§3.3):
+//
+//  * heartbeat transport: clients and region servers open a *session* with a
+//    TTL and renew it with heartbeat() calls that carry a small payload (the
+//    threshold timestamp of Algorithms 1 and 3);
+//  * failure detection: a background expiry checker declares a session dead
+//    after the TTL lapses and invokes the registered expiry listeners (the
+//    recovery manager and the master subscribe);
+//  * a small durable KV namespace where the recovery manager publishes the
+//    global thresholds TF and TP, so (a) servers can fetch TF on their own
+//    heartbeat without talking to the RM and (b) a restarted RM can catch up
+//    with the system's progress while transaction processing continues.
+//
+// The service itself is assumed reliable (ZooKeeper is replicated).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/threading.h"
+
+namespace tfr {
+
+/// What a heartbeat payload carries; opaque to the coordination service.
+using HeartbeatPayload = std::int64_t;
+
+struct SessionInfo {
+  std::string name;             ///< owner, e.g. "client-3" or "rs1"
+  std::string group;            ///< "clients" or "servers"
+  HeartbeatPayload payload = 0; ///< last piggybacked threshold
+  Micros last_heartbeat = 0;
+  bool alive = true;
+};
+
+/// Invoked (on the expiry-checker thread) when a session dies or is cleanly
+/// closed. `expired` is true for TTL expiry (failure), false for clean close.
+using SessionListener = std::function<void(const SessionInfo& session, bool expired)>;
+
+class Coord {
+ public:
+  /// `check_interval`: how often the expiry checker scans sessions.
+  explicit Coord(Micros check_interval = millis(10));
+  ~Coord();
+
+  Coord(const Coord&) = delete;
+  Coord& operator=(const Coord&) = delete;
+
+  // --- sessions -----------------------------------------------------------
+
+  /// Open a session. `name` must be unique among live sessions of the group.
+  /// The session expires if not renewed within `ttl`. `initial_payload` is
+  /// the threshold reported until the first heartbeat, so a fresh session is
+  /// never observed with a meaningless payload.
+  Status create_session(const std::string& group, const std::string& name, Micros ttl,
+                        HeartbeatPayload initial_payload = 0);
+
+  /// Renew the session and update its piggybacked payload. Returns
+  /// Unavailable if the session has already been declared dead — the paper
+  /// requires messages from a declared-dead node to be ignored.
+  Status heartbeat(const std::string& group, const std::string& name, HeartbeatPayload payload);
+
+  /// Adjust a live session's TTL (e.g. after reconfiguring the heartbeat
+  /// interval at runtime). Also counts as a renewal.
+  Status update_ttl(const std::string& group, const std::string& name, Micros ttl);
+
+  /// Clean shutdown: unregister without triggering failure handling.
+  Status close_session(const std::string& group, const std::string& name);
+
+  /// Live sessions of a group, with their latest payloads.
+  std::vector<SessionInfo> live_sessions(const std::string& group) const;
+
+  std::optional<SessionInfo> session(const std::string& group, const std::string& name) const;
+
+  /// Register a listener for expiry / clean close of sessions in `group`.
+  /// Returns an id for remove_listener.
+  int add_listener(const std::string& group, SessionListener listener);
+
+  /// Unregister a listener (e.g. before its owner is destroyed). Blocks
+  /// until no listener callback is in flight, so after it returns the
+  /// removed listener will never run again. Safe with an unknown id; must
+  /// not be called from inside a listener callback.
+  void remove_listener(const std::string& group, int id);
+
+  // --- durable KV namespace -----------------------------------------------
+
+  void put(const std::string& path, std::int64_t value);
+  std::optional<std::int64_t> get(const std::string& path) const;
+
+  /// Force one expiry scan now (tests use this to avoid timing sleeps).
+  void run_expiry_check();
+
+ private:
+  void expiry_scan();
+
+  struct Session {
+    SessionInfo info;
+    Micros ttl = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Session> sessions_;  // key = group + "/" + name
+  std::map<std::string, std::vector<std::pair<int, SessionListener>>> listeners_;
+  int next_listener_id_ = 1;
+  int callbacks_in_flight_ = 0;
+  std::condition_variable quiesce_cv_;
+  std::map<std::string, std::int64_t> kv_;
+  PeriodicTask checker_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,189 @@
+#include "src/dfs/dfs.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+Dfs::Dfs(DfsConfig config)
+    : config_(config),
+      sync_model_(config.sync_latency, config.sync_jitter),
+      read_model_(config.read_latency, config.read_jitter),
+      datanode_up_(static_cast<std::size_t>(config.num_datanodes), true) {}
+
+Status Dfs::create(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = files_.try_emplace(path);
+  if (!inserted) return Status::already_exists("dfs file exists: " + path);
+  return Status::ok();
+}
+
+Status Dfs::append(const std::string& path, std::string_view data) {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found("dfs append: " + path);
+  if (!it->second.open) return Status::closed("dfs file closed: " + path);
+  it->second.data.append(data.data(), data.size());
+  return Status::ok();
+}
+
+void Dfs::place_blocks(File& f) {
+  const auto needed = (f.durable + config_.block_size - 1) / config_.block_size;
+  while (f.blocks.size() < needed) {
+    Block b;
+    for (int r = 0; r < config_.replication; ++r) {
+      b.replicas.push_back(next_datanode_);
+      next_datanode_ = (next_datanode_ + 1) % config_.num_datanodes;
+    }
+    f.blocks.push_back(std::move(b));
+  }
+}
+
+Result<std::uint64_t> Dfs::sync(const std::string& path) {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::not_found("dfs sync: " + path);
+    target = it->second.data.size();
+    if (target == it->second.durable) return target;  // nothing to do, no charge
+  }
+  sync_model_.charge();  // pipeline ack from `replication` datanodes
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found("dfs sync (removed): " + path);
+  File& f = it->second;
+  if (target > f.durable) {
+    stats_.bytes_synced += static_cast<std::int64_t>(target - f.durable);
+    f.durable = target;
+    place_blocks(f);
+  }
+  ++stats_.syncs;
+  return f.durable;
+}
+
+Status Dfs::write_file(const std::string& path, std::string_view data) {
+  TFR_RETURN_IF_ERROR(create(path));
+  TFR_RETURN_IF_ERROR(append(path, data));
+  auto synced = sync(path);
+  if (!synced.is_ok()) return synced.status();
+  return close(path);
+}
+
+Status Dfs::close(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found("dfs close: " + path);
+  it->second.open = false;
+  return Status::ok();
+}
+
+void Dfs::writer_crashed(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  File& f = it->second;
+  if (f.data.size() > f.durable) {
+    TFR_LOG(INFO, "dfs") << "writer crash on " << path << ": dropping "
+                         << f.data.size() - f.durable << " un-synced bytes";
+    f.data.resize(f.durable);
+  }
+  f.open = false;
+}
+
+bool Dfs::block_readable(const Block& b) const {
+  return std::any_of(b.replicas.begin(), b.replicas.end(),
+                     [&](int r) { return datanode_up_[static_cast<std::size_t>(r)]; });
+}
+
+Result<std::string> Dfs::read(const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  int blocks_touched = 0;
+  std::string out;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::not_found("dfs read: " + path);
+    const File& f = it->second;
+    if (offset >= f.durable) return std::string();
+    const std::uint64_t end = std::min<std::uint64_t>(offset + len, f.durable);
+    const auto first_block = offset / config_.block_size;
+    const auto last_block = (end - 1) / config_.block_size;
+    for (auto b = first_block; b <= last_block && b < f.blocks.size(); ++b) {
+      if (!block_readable(f.blocks[b])) {
+        return Status::unavailable("all replicas of a block are down: " + path);
+      }
+    }
+    blocks_touched = static_cast<int>(last_block - first_block + 1);
+    out = f.data.substr(offset, end - offset);
+    stats_.block_reads += blocks_touched;
+    stats_.bytes_read += static_cast<std::int64_t>(out.size());
+  }
+  for (int i = 0; i < blocks_touched; ++i) read_model_.charge();
+  return out;
+}
+
+Result<std::string> Dfs::read_all(const std::string& path) {
+  auto size = durable_size(path);
+  if (!size.is_ok()) return size.status();
+  if (size.value() == 0) return std::string();
+  return read(path, 0, size.value());
+}
+
+Result<std::uint64_t> Dfs::durable_size(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found("dfs size: " + path);
+  return it->second.durable;
+}
+
+bool Dfs::exists(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  return files_.count(path) > 0;
+}
+
+Status Dfs::remove(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (files_.erase(path) == 0) return Status::not_found("dfs remove: " + path);
+  return Status::ok();
+}
+
+std::vector<std::string> Dfs::list(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status Dfs::corrupt_byte(const std::string& path, std::uint64_t offset) {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found("dfs corrupt: " + path);
+  if (offset >= it->second.durable) return Status::invalid_argument("offset past durable data");
+  it->second.data[offset] = static_cast<char>(it->second.data[offset] ^ 0x40);
+  return Status::ok();
+}
+
+Status Dfs::fail_datanode(int node) {
+  std::lock_guard lock(mutex_);
+  if (node < 0 || node >= config_.num_datanodes) return Status::invalid_argument("bad datanode");
+  datanode_up_[static_cast<std::size_t>(node)] = false;
+  return Status::ok();
+}
+
+Status Dfs::restart_datanode(int node) {
+  std::lock_guard lock(mutex_);
+  if (node < 0 || node >= config_.num_datanodes) return Status::invalid_argument("bad datanode");
+  datanode_up_[static_cast<std::size_t>(node)] = true;
+  return Status::ok();
+}
+
+DfsStats Dfs::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tfr

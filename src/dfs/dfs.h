@@ -1,0 +1,122 @@
+// minidfs — an HDFS-like reliable, replicated, append-only filesystem,
+// faithful to the durability semantics the paper relies on:
+//
+//  * append() hands bytes to the write pipeline; they are NOT durable yet.
+//  * sync() (HDFS hflush/hsync) makes everything appended so far durable on
+//    `replication` datanodes, charging the configured sync latency once.
+//  * If the *writer* crashes (a region server dies), the un-synced suffix of
+//    its open files is lost — exactly the window the paper's recovery
+//    middleware must cover when HBase's synchronous WAL flush is disabled.
+//  * Synced bytes survive any writer crash, and any datanode crash as long
+//    as one replica of each block remains.
+//
+// Files are broken into fixed-size blocks placed on datanodes round-robin;
+// reads charge a per-block read latency (this is what makes a cold block
+// cache slow and produces the warm-up ramp of Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/latency.h"
+#include "src/common/status.h"
+
+namespace tfr {
+
+struct DfsConfig {
+  int num_datanodes = 3;
+  int replication = 2;              // the paper uses replication factor 2
+  std::uint64_t block_size = 64 * 1024;
+  Micros sync_latency = 0;          // one charge per sync() (pipeline ack)
+  Micros sync_jitter = 0;
+  Micros read_latency = 0;          // one charge per block fetched
+  Micros read_jitter = 0;
+};
+
+struct DfsStats {
+  std::int64_t syncs = 0;
+  std::int64_t block_reads = 0;
+  std::int64_t bytes_synced = 0;
+  std::int64_t bytes_read = 0;
+};
+
+/// The distributed filesystem. All methods are thread-safe.
+class Dfs {
+ public:
+  explicit Dfs(DfsConfig config);
+
+  /// Create an empty file open for append. Fails if it already exists.
+  Status create(const std::string& path);
+
+  /// Append bytes to the write pipeline of an open file (not yet durable).
+  Status append(const std::string& path, std::string_view data);
+
+  /// Make everything appended so far durable (HDFS hflush). Charges the
+  /// sync latency. Returns the durable length.
+  Result<std::uint64_t> sync(const std::string& path);
+
+  /// Create + append + sync in one call (used for immutable store files).
+  Status write_file(const std::string& path, std::string_view data);
+
+  /// Close the file for further appends (it remains readable).
+  Status close(const std::string& path);
+
+  /// Called when the process writing `path` crashes: the un-synced suffix is
+  /// discarded, and the file is closed. Idempotent; ok on missing file.
+  void writer_crashed(const std::string& path);
+
+  /// Read [offset, offset+len) of the *durable* prefix. Charges read latency
+  /// per block touched. Reading past the durable length truncates.
+  Result<std::string> read(const std::string& path, std::uint64_t offset, std::uint64_t len);
+
+  /// Read the whole durable prefix.
+  Result<std::string> read_all(const std::string& path);
+
+  Result<std::uint64_t> durable_size(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Fault injection for integrity tests: flip one bit of the durable data
+  /// of `path` at `offset`.
+  Status corrupt_byte(const std::string& path, std::uint64_t offset);
+
+  /// Take a datanode down. Synced data remains readable while every block
+  /// keeps at least one live replica; otherwise reads return Unavailable.
+  Status fail_datanode(int node);
+  Status restart_datanode(int node);
+
+  DfsStats stats() const;
+  const DfsConfig& config() const { return config_; }
+
+ private:
+  struct Block {
+    std::vector<int> replicas;  // datanode ids
+  };
+  struct File {
+    std::string data;            // appended bytes (durable prefix + pipeline)
+    std::uint64_t durable = 0;   // bytes made durable by sync()
+    std::vector<Block> blocks;   // placement of durable blocks
+    bool open = true;
+  };
+
+  // Requires lock held. Assigns datanodes for newly durable blocks.
+  void place_blocks(File& f);
+  bool block_readable(const Block& b) const;
+
+  DfsConfig config_;
+  LatencyModel sync_model_;
+  LatencyModel read_model_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, File> files_;
+  std::vector<bool> datanode_up_;
+  int next_datanode_ = 0;
+  DfsStats stats_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,75 @@
+#include "src/kv/block_cache.h"
+
+namespace tfr {
+
+Result<BlockPtr> BlockCache::get_or_load(const std::string& key,
+                                         const std::function<Result<BlockPtr>()>& loader) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++stats_.hits;
+      return it->second.block;
+    }
+    ++stats_.misses;
+  }
+  // Load outside the lock: concurrent misses on the same block may load it
+  // twice (harmless; the second insert wins), but other keys stay unblocked.
+  Result<BlockPtr> loaded = loader();
+  if (!loaded.is_ok()) return loaded;
+  BlockPtr block = loaded.value();
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.block;
+    }
+    lru_.push_front(key);
+    map_[key] = Entry{block, lru_.begin()};
+    stats_.bytes += static_cast<std::int64_t>(block->byte_size);
+    evict_to_fit_locked();
+  }
+  return block;
+}
+
+void BlockCache::evict_to_fit_locked() {
+  while (stats_.bytes > static_cast<std::int64_t>(capacity_) && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = map_.find(victim);
+    if (it != map_.end()) {
+      stats_.bytes -= static_cast<std::int64_t>(it->second.block->byte_size);
+      map_.erase(it);
+      ++stats_.evictions;
+    }
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::invalidate_prefix(const std::string& prefix) {
+  std::lock_guard lock(mutex_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      stats_.bytes -= static_cast<std::int64_t>(it->second.block->byte_size);
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+}
+
+BlockCacheStats BlockCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tfr

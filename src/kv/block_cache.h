@@ -1,0 +1,73 @@
+// BlockCache — per-region-server LRU cache of decoded store-file blocks
+// (§2.1: "a large main-memory cache to reduce interactions with HDFS").
+//
+// A block that is not cached must be fetched from the DFS, which charges the
+// DFS read latency; this is the mechanism behind the slow warm-up after a
+// failover in Figure 3: the regions that move to the surviving server arrive
+// with a completely cold cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+/// A decoded, immutable store-file block: cells sorted by (row, column,
+/// ts desc), same order as the memstore.
+struct CacheBlock {
+  std::vector<Cell> cells;
+  std::size_t byte_size = 0;
+};
+
+using BlockPtr = std::shared_ptr<const CacheBlock>;
+
+struct BlockCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t bytes = 0;
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Look up `key`; on miss, call `loader` (which typically performs a DFS
+  /// read and therefore blocks for the read latency), insert, and return.
+  /// The loader runs outside the cache lock.
+  Result<BlockPtr> get_or_load(const std::string& key,
+                               const std::function<Result<BlockPtr>()>& loader);
+
+  /// Drop every block whose key starts with `prefix` (e.g. when a store file
+  /// is deleted after compaction).
+  void invalidate_prefix(const std::string& prefix);
+
+  void clear();
+
+  BlockCacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void evict_to_fit_locked();
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // front = most recent
+  struct Entry {
+    BlockPtr block;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> map_;
+  BlockCacheStats stats_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,62 @@
+#include "src/kv/cluster.h"
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), dfs_(config.dfs), coord_(config.coord_check_interval),
+      master_(dfs_, coord_) {
+  for (int i = 0; i < config_.num_servers; ++i) {
+    servers_.push_back(
+        std::make_unique<RegionServer>("rs" + std::to_string(i + 1), dfs_, coord_,
+                                       config_.server));
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+Status Cluster::start() {
+  master_.start();
+  for (auto& s : servers_) {
+    if (server_setup_) server_setup_(*s);
+    TFR_RETURN_IF_ERROR(s->start());
+    master_.add_server(s.get());
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void Cluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  // Stop the master's failure handling first so clean shutdowns below do not
+  // trigger pointless region reassignment.
+  master_.stop();
+  for (auto& s : servers_) {
+    if (s->alive()) (void)s->shutdown();
+  }
+}
+
+RegionServer* Cluster::server_by_id(const std::string& id) {
+  for (auto& s : servers_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+Result<RegionServer*> Cluster::add_server() {
+  auto server = std::make_unique<RegionServer>("rs" + std::to_string(servers_.size() + 1), dfs_,
+                                               coord_, config_.server);
+  if (server_setup_) server_setup_(*server);
+  TFR_RETURN_IF_ERROR(server->start());
+  master_.add_server(server.get());
+  servers_.push_back(std::move(server));
+  return servers_.back().get();
+}
+
+void Cluster::crash_server(int i) {
+  servers_.at(static_cast<std::size_t>(i))->crash();
+}
+
+}  // namespace tfr

@@ -1,0 +1,179 @@
+#include "src/kv/kv_client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+KvClient::KvClient(Master& master, Micros retry_backoff)
+    : master_(&master), retry_backoff_(retry_backoff) {}
+
+Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> piggyback_tp,
+                                bool recovery_replay, const std::atomic<bool>* cancel) {
+  if (ws.mutations.empty()) return Status::ok();
+  if (ws.commit_ts == kNoTimestamp) {
+    return Status::invalid_argument("write-set has no commit timestamp");
+  }
+
+  // Track which mutations still need to be applied; a participant ack
+  // covers all mutations that were in its slice.
+  std::vector<Mutation> pending = ws.mutations;
+  Micros backoff = retry_backoff_;
+  int attempt = 0;
+
+  while (!pending.empty()) {
+    if (cancel && cancel->load(std::memory_order_acquire)) {
+      return Status::closed("flush cancelled (client died)");
+    }
+    // Group the pending mutations by the server currently hosting them.
+    std::map<std::string, std::vector<Mutation>> by_server;
+    Status route_error = Status::ok();
+    for (const auto& m : pending) {
+      auto loc = master_->locate(ws.table, m.row);
+      if (!loc.is_ok()) {
+        // Unknown table: a region always covers the full keyspace of an
+        // existing table, so NotFound is permanent — fail instead of
+        // retrying forever.
+        if (loc.status().is_not_found()) return loc.status();
+        route_error = loc.status();
+        break;
+      }
+      by_server[loc.value().server_id].push_back(m);
+    }
+
+    if (route_error.is_ok()) {
+      std::vector<Mutation> still_pending;
+      for (auto& [server_id, muts] : by_server) {
+        RegionServer* stub = master_->server_stub(server_id);
+        Status s = stub == nullptr ? Status::unavailable("unknown server " + server_id)
+                                   : Status::ok();
+        if (s.is_ok()) {
+          ApplyRequest req;
+          req.txn_id = ws.txn_id;
+          req.client_id = ws.client_id;
+          req.commit_ts = ws.commit_ts;
+          req.table = ws.table;
+          req.mutations = muts;
+          req.piggyback_tp = piggyback_tp;
+          req.recovery_replay = recovery_replay;
+          flush_rpcs_.fetch_add(1, std::memory_order_relaxed);
+          s = stub->apply_writeset(req);
+        }
+        if (!s.is_ok()) {
+          if (!s.is_unavailable()) return s;  // real error, not a failover
+          still_pending.insert(still_pending.end(), muts.begin(), muts.end());
+        }
+      }
+      pending = std::move(still_pending);
+      if (pending.empty()) break;
+    }
+
+    // Unlimited retries (§3.2): back off and try again; the region will come
+    // back online once recovery completes.
+    flush_retries_.fetch_add(1, std::memory_order_relaxed);
+    ++attempt;
+    if (attempt % 200 == 0) {
+      TFR_LOG(WARN, "kvclient") << ws.client_id << " still flushing txn " << ws.commit_ts
+                                << " after " << attempt << " retries";
+    }
+    sleep_micros(backoff);
+    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+  }
+  return Status::ok();
+}
+
+Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::string& row,
+                                          const std::string& column, Timestamp read_ts,
+                                          int max_retries) {
+  Micros backoff = retry_backoff_;
+  for (int attempt = 0;; ++attempt) {
+    auto loc = master_->locate(table, row);
+    if (loc.is_ok()) {
+      RegionServer* stub = master_->server_stub(loc.value().server_id);
+      if (stub != nullptr) {
+        auto result = stub->get(table, row, column, read_ts);
+        if (result.is_ok() || !result.status().is_unavailable()) return result;
+      }
+    } else if (!loc.status().is_unavailable() && !loc.status().is_not_found()) {
+      return loc.status();
+    }
+    if (max_retries != 0 && attempt >= max_retries) {
+      return Status::unavailable("get retries exhausted for " + table + "/" + row);
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    sleep_micros(backoff);
+    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+  }
+}
+
+Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::string& start,
+                                         const std::string& end, Timestamp read_ts,
+                                         std::size_t limit, int max_retries) {
+  Micros backoff = retry_backoff_;
+  for (int attempt = 0;; ++attempt) {
+    auto loc = master_->locate(table, start);
+    if (loc.is_ok()) {
+      RegionServer* stub = master_->server_stub(loc.value().server_id);
+      if (stub != nullptr) {
+        // A scan may cross region boundaries; walk regions left to right.
+        std::vector<Cell> out;
+        std::string cursor = start;
+        bool failed = false;
+        std::size_t rows_left = limit;
+        for (;;) {
+          auto cur = master_->locate(table, cursor);
+          if (!cur.is_ok()) {
+            failed = true;
+            break;
+          }
+          RegionServer* s = master_->server_stub(cur.value().server_id);
+          if (s == nullptr) {
+            failed = true;
+            break;
+          }
+          const std::string region_end = cur.value().descriptor.end_key;
+          const std::string chunk_end =
+              (!end.empty() && (region_end.empty() || end < region_end)) ? end : region_end;
+          auto cells = s->scan(table, cursor, chunk_end, read_ts, rows_left);
+          if (!cells.is_ok()) {
+            failed = true;
+            break;
+          }
+          // Count distinct rows returned.
+          std::string last_row;
+          std::size_t rows = 0;
+          for (const auto& c : cells.value()) {
+            if (c.row != last_row) {
+              ++rows;
+              last_row = c.row;
+            }
+            out.push_back(c);
+          }
+          if (limit != 0) {
+            if (rows >= rows_left) return out;
+            rows_left -= rows;
+          }
+          if (region_end.empty() || (!end.empty() && region_end >= end)) return out;
+          cursor = region_end;
+        }
+        if (!failed) return out;
+      }
+    }
+    if (max_retries != 0 && attempt >= max_retries) {
+      return Status::unavailable("scan retries exhausted for " + table + "/" + start);
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    sleep_micros(backoff);
+    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+  }
+}
+
+KvClientStats KvClient::stats() const {
+  return KvClientStats{flush_rpcs_.load(std::memory_order_relaxed),
+                       flush_retries_.load(std::memory_order_relaxed),
+                       read_retries_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace tfr

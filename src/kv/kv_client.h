@@ -1,0 +1,67 @@
+// KvClient — the embedded (non-transactional) store client: routing via the
+// master, plus the flush protocol for committed write-sets.
+//
+// The flush of a write-set "is usually a non-atomic operation" (§2.2): a
+// write-set may span several servers and is sent as one ApplyRequest per
+// participant. A server failure interrupts the flush; the client then
+// "retries, multiple times, to flush the remaining part of the write-set to
+// the target regions ... we remove the retry and timeout limits so that the
+// client keeps retrying until it succeeds" (§3.2). flush_writeset implements
+// exactly that loop.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kv/master.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+struct KvClientStats {
+  std::int64_t flush_rpcs = 0;
+  std::int64_t flush_retries = 0;
+  std::int64_t read_retries = 0;
+};
+
+class KvClient {
+ public:
+  /// `retry_backoff`: initial backoff between retries (doubles up to 32x).
+  explicit KvClient(Master& master, Micros retry_backoff = millis(5));
+
+  /// Flush a committed write-set to all participant servers. Retries
+  /// indefinitely across server failures and region moves; returns only
+  /// when every participant has received and applied its slice, or with
+  /// InvalidArgument for malformed input.
+  ///
+  /// `piggyback_tp` / `recovery_replay` are used by the recovery client
+  /// (§3.2) and left unset by regular clients.
+  /// `cancel`, when non-null and set, aborts the retry loop with Closed —
+  /// used to simulate a client process dying mid-flush.
+  Status flush_writeset(const WriteSet& ws, std::optional<Timestamp> piggyback_tp = std::nullopt,
+                        bool recovery_replay = false,
+                        const std::atomic<bool>* cancel = nullptr);
+
+  /// Snapshot read. Retries through failovers until the row's region is
+  /// online again; `max_retries` = 0 means retry forever.
+  Result<std::optional<Cell>> get(const std::string& table, const std::string& row,
+                                  const std::string& column, Timestamp read_ts,
+                                  int max_retries = 0);
+
+  Result<std::vector<Cell>> scan(const std::string& table, const std::string& start,
+                                 const std::string& end, Timestamp read_ts, std::size_t limit,
+                                 int max_retries = 0);
+
+  KvClientStats stats() const;
+
+ private:
+  Master* master_;
+  Micros retry_backoff_;
+  std::atomic<std::int64_t> flush_rpcs_{0};
+  std::atomic<std::int64_t> flush_retries_{0};
+  std::atomic<std::int64_t> read_retries_{0};
+};
+
+}  // namespace tfr

@@ -1,0 +1,332 @@
+#include "src/kv/master.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+Master::Master(Dfs& dfs, Coord& coord) : dfs_(&dfs), coord_(&coord) {}
+
+Master::~Master() { stop(); }
+
+void Master::start() {
+  listener_id_ = coord_->add_listener("servers", [this](const SessionInfo& info, bool expired) {
+    on_session_event(info, expired);
+  });
+  worker_ = std::thread([this] { recovery_worker(); });
+}
+
+void Master::stop() {
+  if (listener_id_ != 0) {
+    coord_->remove_listener("servers", listener_id_);
+    listener_id_ = 0;
+  }
+  failures_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Master::add_server(RegionServer* server) {
+  std::lock_guard lock(mutex_);
+  servers_[server->id()] = server;
+  server_alive_[server->id()] = true;
+  server_wal_paths_[server->id()] = server->wal_path();
+}
+
+void Master::set_hooks(MasterHooks* hooks) {
+  std::lock_guard lock(mutex_);
+  hooks_ = hooks;
+}
+
+std::string Master::pick_live_server_locked(std::size_t salt) const {
+  std::vector<std::string> live;
+  for (const auto& [id, alive] : server_alive_) {
+    if (alive) live.push_back(id);
+  }
+  if (live.empty()) return {};
+  return live[salt % live.size()];
+}
+
+Status Master::create_table(const std::string& table, const std::vector<std::string>& split_keys) {
+  std::vector<std::string> keys = split_keys;
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<RegionDescriptor> descs;
+  std::string start;
+  for (const auto& k : keys) {
+    descs.push_back(RegionDescriptor{table, start, k});
+    start = k;
+  }
+  descs.push_back(RegionDescriptor{table, start, ""});
+
+  std::vector<std::pair<RegionDescriptor, RegionServer*>> plan;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& d : descs) {
+      if (assignment_.count(d.name())) {
+        return Status::already_exists("table exists: " + table);
+      }
+    }
+    std::size_t i = 0;
+    for (const auto& d : descs) {
+      const std::string target = pick_live_server_locked(i++);
+      if (target.empty()) return Status::unavailable("no live region servers");
+      plan.emplace_back(d, servers_.at(target));
+      assignment_[d.name()] = RegionLocation{d.name(), d, target};
+    }
+  }
+  for (auto& [desc, server] : plan) {
+    TFR_RETURN_IF_ERROR(server->open_region(desc, {}));
+  }
+  TFR_LOG(INFO, "master") << "table " << table << " created with " << descs.size() << " regions";
+  return Status::ok();
+}
+
+Result<RegionLocation> Master::locate(const std::string& table, const std::string& row) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, loc] : assignment_) {
+    if (loc.descriptor.table == table && loc.descriptor.contains(row)) return loc;
+  }
+  return Status::not_found("no region for " + table + "/" + row);
+}
+
+std::vector<RegionLocation> Master::table_regions(const std::string& table) const {
+  std::lock_guard lock(mutex_);
+  std::vector<RegionLocation> out;
+  for (const auto& [name, loc] : assignment_) {
+    if (loc.descriptor.table == table) out.push_back(loc);
+  }
+  return out;
+}
+
+Result<RegionLocation> Master::region_by_name(const std::string& region_name) const {
+  std::lock_guard lock(mutex_);
+  auto it = assignment_.find(region_name);
+  if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
+  return it->second;
+}
+
+RegionServer* Master::server_stub(const std::string& server_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = servers_.find(server_id);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Master::live_servers() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [id, alive] : server_alive_) {
+    if (alive) out.push_back(id);
+  }
+  return out;
+}
+
+Status Master::split_region(const std::string& region_name) {
+  RegionLocation loc;
+  RegionServer* stub = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = assignment_.find(region_name);
+    if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
+    loc = it->second;
+    auto sit = servers_.find(loc.server_id);
+    if (sit == servers_.end()) return Status::unavailable("no stub for " + loc.server_id);
+    stub = sit->second;
+  }
+  auto children = stub->split_region(region_name);
+  if (!children.is_ok()) return children.status();
+  const auto& [left, right] = children.value();
+  {
+    std::lock_guard lock(mutex_);
+    assignment_.erase(region_name);
+    assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id};
+    assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id};
+  }
+  TFR_LOG(INFO, "master") << region_name << " split into " << left.name() << " and "
+                          << right.name();
+  return Status::ok();
+}
+
+Status Master::move_region(const std::string& region_name, const std::string& target_server) {
+  RegionLocation loc;
+  RegionServer* source = nullptr;
+  RegionServer* target = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = assignment_.find(region_name);
+    if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
+    loc = it->second;
+    if (loc.server_id == target_server) return Status::ok();
+    auto sit = servers_.find(loc.server_id);
+    auto tit = servers_.find(target_server);
+    if (sit == servers_.end() || tit == servers_.end() || !server_alive_.at(target_server)) {
+      return Status::unavailable("source or target unavailable for move");
+    }
+    source = sit->second;
+    target = tit->second;
+  }
+  // Flush + close at the source, then publish the new location so client
+  // retries land on the target while it opens the region from store files.
+  TFR_RETURN_IF_ERROR(source->offload_region(region_name));
+  {
+    std::lock_guard lock(mutex_);
+    assignment_[region_name] = RegionLocation{region_name, loc.descriptor, target_server};
+  }
+  Status opened = target->open_region(loc.descriptor, {});
+  if (!opened.is_ok()) {
+    // Roll back the routing; the region is homeless until an operator or a
+    // failure-recovery pass fixes it, so surface the error loudly.
+    TFR_LOG(ERROR, "master") << "move of " << region_name << " to " << target_server
+                             << " failed: " << opened;
+    return opened;
+  }
+  TFR_LOG(INFO, "master") << region_name << " moved " << loc.server_id << " -> "
+                          << target_server;
+  return Status::ok();
+}
+
+Result<int> Master::rebalance() {
+  // Build the per-server load map.
+  std::map<std::string, std::vector<std::string>> by_server;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [id, alive] : server_alive_) {
+      if (alive) by_server[id];
+    }
+    for (const auto& [name, loc] : assignment_) {
+      auto it = by_server.find(loc.server_id);
+      if (it != by_server.end()) it->second.push_back(name);
+    }
+  }
+  if (by_server.empty()) return Status::unavailable("no live servers");
+
+  int moved = 0;
+  for (;;) {
+    auto most = by_server.begin();
+    auto least = by_server.begin();
+    for (auto it = by_server.begin(); it != by_server.end(); ++it) {
+      if (it->second.size() > most->second.size()) most = it;
+      if (it->second.size() < least->second.size()) least = it;
+    }
+    if (most->second.size() <= least->second.size() + 1) break;
+    const std::string region = most->second.back();
+    TFR_RETURN_IF_ERROR(move_region(region, least->first));
+    most->second.pop_back();
+    least->second.push_back(region);
+    ++moved;
+  }
+  if (moved > 0) TFR_LOG(INFO, "master") << "rebalance moved " << moved << " regions";
+  return moved;
+}
+
+void Master::on_session_event(const SessionInfo& info, bool expired) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = server_alive_.find(info.name);
+    if (it == server_alive_.end() || !it->second) return;  // unknown or already handled
+    it->second = false;
+    ++in_flight_recoveries_;
+  }
+  TFR_LOG(INFO, "master") << "server " << info.name << (expired ? " FAILED" : " left cleanly");
+  failures_.push({info.name, expired});
+}
+
+void Master::recovery_worker() {
+  while (auto item = failures_.pop()) {
+    handle_server_down(item->first, item->second);
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_recoveries_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Master::wait_for_idle() const {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_recoveries_ == 0; });
+}
+
+void Master::handle_server_down(const std::string& server_id, bool crashed) {
+  // Snapshot the affected regions and the hook.
+  std::vector<RegionLocation> affected;
+  MasterHooks* hooks = nullptr;
+  std::string wal_path;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, loc] : assignment_) {
+      if (loc.server_id == server_id) affected.push_back(loc);
+    }
+    hooks = hooks_;
+    wal_path = server_wal_paths_[server_id];
+  }
+
+  std::vector<std::string> region_names;
+  for (const auto& loc : affected) region_names.push_back(loc.region_name);
+
+  // Notify the recovery middleware *before* regions start coming back
+  // (it snapshots TP(s) for the replay bound).
+  if (hooks && crashed) hooks->on_server_failure(server_id, region_names);
+
+  // HBase log splitting: group the failed server's durable WAL records by
+  // region (§2.1). Clean shutdowns flushed their memstores, so their edits
+  // are redundant — replaying them anyway is idempotent and exercises the
+  // same path.
+  std::map<std::string, std::vector<WalRecord>> edits;
+  if (!wal_path.empty()) {
+    auto split = Wal::split(*dfs_, wal_path);
+    if (!split.is_ok() && !split.status().is_not_found()) {
+      TFR_LOG(ERROR, "master") << "WAL split failed for " << server_id << ": "
+                               << split.status();
+    } else if (split.is_ok()) {
+      edits = std::move(split).value();
+    }
+  }
+
+  // Reassign and recover each affected region one-by-one (Algorithm 4).
+  std::size_t salt = std::hash<std::string>{}(server_id);
+  for (const auto& loc : affected) {
+    for (;;) {
+      std::string target;
+      RegionServer* stub = nullptr;
+      {
+        std::lock_guard lock(mutex_);
+        target = pick_live_server_locked(salt++);
+        if (!target.empty()) stub = servers_.at(target);
+      }
+      if (!stub) {
+        TFR_LOG(ERROR, "master") << "no live server to host " << loc.region_name
+                                 << "; operator intervention required";
+        break;
+      }
+      {
+        // Publish the new location first: clients retrying against the dead
+        // server re-locate here and keep retrying until the region is online.
+        std::lock_guard lock(mutex_);
+        assignment_[loc.region_name] =
+            RegionLocation{loc.region_name, loc.descriptor, target};
+      }
+      auto it = edits.find(loc.region_name);
+      const auto& region_edits =
+          it == edits.end() ? std::vector<WalRecord>{} : it->second;
+      Status s = stub->open_region(loc.descriptor, region_edits);
+      if (s.is_ok()) {
+        TFR_LOG(INFO, "master") << loc.region_name << " reassigned " << server_id << " -> "
+                                << target;
+        break;
+      }
+      TFR_LOG(WARN, "master") << "open_region " << loc.region_name << " on " << target
+                              << " failed: " << s << "; retrying elsewhere";
+      {
+        std::lock_guard lock(mutex_);
+        // Treat the uncooperative target as suspect only if it is dead;
+        // otherwise (e.g. already-open race) move on.
+        if (!stub->alive()) server_alive_[target] = false;
+      }
+      sleep_millis(1);
+    }
+  }
+}
+
+}  // namespace tfr

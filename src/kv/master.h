@@ -1,0 +1,122 @@
+// Master — coordinates region assignment across region servers (§2.1) and
+// drives the store's internal recovery when a server dies:
+//
+//   1. The coordination service reports the server's session expiry (HBase
+//      uses its own heartbeats; ours flow through minizk as the paper's
+//      implementation does).
+//   2. The master notifies the recovery-middleware hook (`on_server_failure`)
+//      — the hook the paper added to the HBase master (§3.2).
+//   3. It splits the failed server's WAL by region and reassigns each region
+//      to a live server, passing along that region's recovered edits. The
+//      receiving server replays them, then runs the region gate (recovery
+//      manager replay) before declaring the region online.
+//
+// Regions are recovered one-by-one, as in Algorithm 4; recovery does not
+// interrupt processing on the surviving servers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/coord/coord.h"
+#include "src/dfs/dfs.h"
+#include "src/kv/region_server.h"
+
+namespace tfr {
+
+/// Extension points the recovery middleware installs on the master.
+class MasterHooks {
+ public:
+  virtual ~MasterHooks() = default;
+
+  /// A server was declared dead, before any of its regions are reassigned.
+  /// `regions` lists the affected regions R(s).
+  virtual void on_server_failure(const std::string& server_id,
+                                 const std::vector<std::string>& regions) = 0;
+};
+
+struct RegionLocation {
+  std::string region_name;
+  RegionDescriptor descriptor;
+  std::string server_id;
+};
+
+class Master {
+ public:
+  Master(Dfs& dfs, Coord& coord);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  /// Subscribe to server-session events and start the recovery worker.
+  void start();
+  void stop();
+
+  /// Register a server's in-process stub (our stand-in for its RPC address).
+  void add_server(RegionServer* server);
+
+  /// Create a table pre-split at `split_keys` (regions: [,k0), [k0,k1), ...)
+  /// and assign its regions round-robin across live servers.
+  Status create_table(const std::string& table, const std::vector<std::string>& split_keys);
+
+  /// Where does `row` of `table` live right now?
+  Result<RegionLocation> locate(const std::string& table, const std::string& row) const;
+
+  /// All regions of a table with their current assignment.
+  std::vector<RegionLocation> table_regions(const std::string& table) const;
+
+  /// Current location of a region by name.
+  Result<RegionLocation> region_by_name(const std::string& region_name) const;
+
+  /// The stub for a server id; nullptr when unknown.
+  RegionServer* server_stub(const std::string& server_id) const;
+
+  /// Split a region on its current server and record the two children.
+  Status split_region(const std::string& region_name);
+
+  /// Move a region to `target_server` (flush + close at the source, open
+  /// from store files at the target).
+  Status move_region(const std::string& region_name, const std::string& target_server);
+
+  /// Even out the region count across live servers (used after scale-out).
+  /// Returns the number of regions moved.
+  Result<int> rebalance();
+
+  std::vector<std::string> live_servers() const;
+
+  void set_hooks(MasterHooks* hooks);
+
+  /// Block until no failure recovery is in flight (test/bench helper).
+  void wait_for_idle() const;
+
+ private:
+  void on_session_event(const SessionInfo& info, bool expired);
+  void recovery_worker();
+  void handle_server_down(const std::string& server_id, bool crashed);
+  std::string pick_live_server_locked(std::size_t salt) const;
+
+  Dfs* dfs_;
+  Coord* coord_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, RegionServer*> servers_;           // all ever registered
+  std::map<std::string, bool> server_alive_;
+  std::map<std::string, RegionLocation> assignment_;       // region name -> location
+  std::map<std::string, std::string> server_wal_paths_;
+  MasterHooks* hooks_ = nullptr;
+  int in_flight_recoveries_ = 0;
+  mutable std::condition_variable idle_cv_;
+
+  BlockingQueue<std::pair<std::string, bool>> failures_;   // (server, crashed?)
+  std::thread worker_;
+  int listener_id_ = 0;
+};
+
+}  // namespace tfr

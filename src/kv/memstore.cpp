@@ -1,0 +1,60 @@
+#include "src/kv/memstore.h"
+
+namespace tfr {
+
+void Memstore::apply(const Cell& cell) {
+  Key key{cell.row, cell.column, cell.ts};
+  auto [it, inserted] = cells_.insert_or_assign(std::move(key), Value{cell.value, cell.tombstone});
+  (void)it;
+  if (inserted) bytes_ += cell.byte_size();
+  if (cell.ts > max_ts_) max_ts_ = cell.ts;
+}
+
+std::optional<Cell> Memstore::get(const std::string& row, const std::string& column,
+                                  Timestamp read_ts) const {
+  // Keys are ordered with newer timestamps first, so the first entry at or
+  // after (row, column, read_ts) is the newest version visible at read_ts.
+  auto it = cells_.lower_bound(Key{row, column, read_ts});
+  if (it == cells_.end() || it->first.row != row || it->first.column != column) {
+    return std::nullopt;
+  }
+  return Cell{row, column, it->second.value, it->first.ts, it->second.tombstone};
+}
+
+std::vector<Cell> Memstore::snapshot() const {
+  std::vector<Cell> out;
+  out.reserve(cells_.size());
+  for (const auto& [k, v] : cells_) {
+    out.push_back(Cell{k.row, k.column, v.value, k.ts, v.tombstone});
+  }
+  return out;
+}
+
+std::vector<Cell> Memstore::scan(const std::string& start, const std::string& end,
+                                 Timestamp read_ts) const {
+  std::vector<Cell> out;
+  auto it = cells_.lower_bound(Key{start, "", kMaxTimestamp});
+  while (it != cells_.end()) {
+    if (!end.empty() && it->first.row >= end) break;
+    // Find the newest version of this (row, column) visible at read_ts,
+    // then skip the remaining (older) versions.
+    const std::string& row = it->first.row;
+    const std::string& column = it->first.column;
+    bool taken = false;
+    while (it != cells_.end() && it->first.row == row && it->first.column == column) {
+      if (!taken && it->first.ts <= read_ts) {
+        out.push_back(Cell{row, column, it->second.value, it->first.ts, it->second.tombstone});
+        taken = true;
+      }
+      ++it;
+    }
+  }
+  return out;
+}
+
+void Memstore::clear() {
+  cells_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace tfr

@@ -1,0 +1,262 @@
+#include "src/kv/region.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+std::string_view region_state_name(RegionState s) {
+  switch (s) {
+    case RegionState::kOpening: return "opening";
+    case RegionState::kGated: return "gated";
+    case RegionState::kOnline: return "online";
+    case RegionState::kOffline: return "offline";
+  }
+  return "?";
+}
+
+namespace {
+/// DFS paths may not love arbitrary key bytes; region names are restricted
+/// to printable benchmark keys, so a simple substitution suffices.
+std::string sanitize(std::string name) {
+  for (auto& c : name) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return name;
+}
+}  // namespace
+
+Region::Region(RegionDescriptor desc, Dfs& dfs, BlockCache& cache,
+               std::size_t store_block_bytes)
+    : desc_(std::move(desc)), dfs_(&dfs), cache_(&cache),
+      store_block_bytes_(store_block_bytes) {}
+
+std::string Region::data_dir() const { return "/data/" + sanitize(desc_.name()) + "/"; }
+
+Status Region::load_store_files() {
+  std::lock_guard lock(mutex_);
+  files_.clear();
+  // Store files are numbered; open newest-last and order newest-first.
+  auto paths = dfs_->list(data_dir());
+  std::sort(paths.begin(), paths.end());
+  std::uint64_t max_id = 0;
+  for (const auto& p : paths) {
+    auto reader = StoreFileReader::open(*dfs_, p);
+    if (!reader.is_ok()) return reader.status();
+    files_.insert(files_.begin(), reader.value());
+    // Path suffix is the numeric file id.
+    const auto pos = p.rfind("sf-");
+    if (pos != std::string::npos) {
+      max_id = std::max<std::uint64_t>(max_id, std::strtoull(p.c_str() + pos + 3, nullptr, 10));
+    }
+  }
+  next_file_id_ = max_id + 1;
+  return Status::ok();
+}
+
+void Region::apply(const std::vector<Cell>& cells, std::uint64_t wal_seq) {
+  std::lock_guard lock(mutex_);
+  for (const auto& c : cells) memstore_.apply(c);
+  if (wal_seq != 0 && min_unflushed_wal_seq_ == 0) min_unflushed_wal_seq_ = wal_seq;
+}
+
+std::uint64_t Region::min_unflushed_wal_seq() const {
+  std::lock_guard lock(mutex_);
+  return min_unflushed_wal_seq_;
+}
+
+Result<std::optional<Cell>> Region::get(const std::string& row, const std::string& column,
+                                        Timestamp read_ts) {
+  std::optional<Cell> best;
+  std::vector<std::shared_ptr<StoreFileReader>> files;
+  {
+    std::lock_guard lock(mutex_);
+    best = memstore_.get(row, column, read_ts);
+    files = files_;  // cheap shared_ptr copies; DFS reads happen unlocked
+  }
+  for (const auto& f : files) {
+    if (best && f->max_ts() <= best->ts) continue;  // cannot contain a newer version
+    auto from_file = f->get(*cache_, row, column, read_ts);
+    if (!from_file.is_ok()) return from_file.status();
+    if (from_file.value() && (!best || from_file.value()->ts > best->ts)) {
+      best = from_file.value();
+    }
+  }
+  if (best && best->tombstone) best.reset();
+  return best;
+}
+
+Result<std::vector<Cell>> Region::scan(const std::string& start, const std::string& end,
+                                       Timestamp read_ts, std::size_t limit) {
+  std::vector<Cell> mem;
+  std::vector<std::shared_ptr<StoreFileReader>> files;
+  {
+    std::lock_guard lock(mutex_);
+    mem = memstore_.scan(start, end, read_ts);
+    files = files_;
+  }
+  // Merge, keeping the newest visible version per (row, column).
+  std::map<std::pair<std::string, std::string>, Cell> merged;
+  auto absorb = [&](const Cell& c) {
+    auto key = std::make_pair(c.row, c.column);
+    auto it = merged.find(key);
+    if (it == merged.end() || c.ts > it->second.ts) merged[key] = c;
+  };
+  for (const auto& c : mem) absorb(c);
+  for (const auto& f : files) {
+    auto cells = f->scan(*cache_, start, end, read_ts);
+    if (!cells.is_ok()) return cells.status();
+    for (const auto& c : cells.value()) absorb(c);
+  }
+  std::vector<Cell> out;
+  std::string last_row;
+  std::size_t rows = 0;
+  for (auto& [key, c] : merged) {
+    if (c.tombstone) continue;
+    if (c.row != last_row) {
+      if (limit != 0 && rows == limit) break;
+      ++rows;
+      last_row = c.row;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Status Region::flush_memstore() {
+  std::lock_guard lock(mutex_);
+  if (memstore_.cell_count() == 0) return Status::ok();
+  StoreFileWriter writer(store_block_bytes_);
+  for (const auto& c : memstore_.snapshot()) writer.add(c);
+  const std::string path = data_dir() + "sf-" + std::to_string(next_file_id_++);
+  TFR_RETURN_IF_ERROR(writer.finish(*dfs_, path));
+  auto reader = StoreFileReader::open(*dfs_, path);
+  if (!reader.is_ok()) return reader.status();
+  files_.insert(files_.begin(), reader.value());
+  TFR_LOG(DEBUG, "region") << name() << " flushed " << memstore_.cell_count() << " cells to "
+                           << path;
+  memstore_.clear();
+  // Everything this region had in the WAL is now in a durable store file.
+  min_unflushed_wal_seq_ = 0;
+  return Status::ok();
+}
+
+namespace {
+/// Memstore ordering for merged cell sets: (row, column, ts desc).
+struct CellOrder {
+  bool operator()(const Cell& a, const Cell& b) const {
+    if (a.row != b.row) return a.row < b.row;
+    if (a.column != b.column) return a.column < b.column;
+    return a.ts > b.ts;
+  }
+};
+}  // namespace
+
+Status Region::compact(Timestamp prune_before_ts) {
+  // Snapshot the immutable inputs, merge outside the lock, then swap in the
+  // result only if no flush changed the file set meanwhile.
+  std::vector<std::shared_ptr<StoreFileReader>> inputs;
+  {
+    std::lock_guard lock(mutex_);
+    if (files_.size() < 2) return Status::ok();
+    inputs = files_;
+  }
+
+  std::set<Cell, CellOrder> merged;
+  for (const auto& f : inputs) {
+    auto cells = f->all_cells(*cache_);
+    if (!cells.is_ok()) return cells.status();
+    for (auto& c : cells.value()) merged.insert(std::move(c));
+  }
+
+  StoreFileWriter writer(store_block_bytes_);
+  std::size_t kept = 0, dropped = 0;
+  auto it = merged.begin();
+  while (it != merged.end()) {
+    const std::string& row = it->row;
+    const std::string& column = it->column;
+    // Versions of one column arrive newest-first. Keep everything newer
+    // than the prune horizon plus the newest survivor at/below it.
+    bool survivor_taken = false;
+    for (; it != merged.end() && it->row == row && it->column == column; ++it) {
+      bool keep;
+      if (prune_before_ts == kNoTimestamp || it->ts > prune_before_ts) {
+        keep = true;
+      } else if (!survivor_taken) {
+        survivor_taken = true;
+        keep = !it->tombstone;  // a tombstone survivor means: fully deleted
+      } else {
+        keep = false;
+      }
+      if (keep) {
+        writer.add(*it);
+        ++kept;
+      } else {
+        ++dropped;
+      }
+    }
+  }
+
+  std::string path;
+  {
+    std::lock_guard lock(mutex_);
+    path = data_dir() + "sf-" + std::to_string(next_file_id_++);
+  }
+  TFR_RETURN_IF_ERROR(writer.finish(*dfs_, path));
+  auto reader = StoreFileReader::open(*dfs_, path);
+  if (!reader.is_ok()) return reader.status();
+
+  std::vector<std::string> obsolete;
+  {
+    std::lock_guard lock(mutex_);
+    // A flush that landed mid-compaction added a file we have not merged;
+    // bail out (the new merged file is discarded) and let the caller retry.
+    if (files_.size() != inputs.size() ||
+        !std::equal(files_.begin(), files_.end(), inputs.begin())) {
+      (void)dfs_->remove(path);
+      return Status::unavailable("compaction raced a flush on " + name());
+    }
+    for (const auto& f : files_) obsolete.push_back(f->path());
+    files_.clear();
+    files_.push_back(reader.value());
+  }
+  for (const auto& p : obsolete) {
+    (void)dfs_->remove(p);
+    cache_->invalidate_prefix(p + "#");
+  }
+  TFR_LOG(INFO, "region") << name() << " compacted " << inputs.size() << " files -> 1 ("
+                          << kept << " cells kept, " << dropped << " pruned)";
+  return Status::ok();
+}
+
+Result<std::vector<Cell>> Region::dump_cells() {
+  std::vector<std::shared_ptr<StoreFileReader>> files;
+  std::vector<Cell> mem;
+  {
+    std::lock_guard lock(mutex_);
+    files = files_;
+    mem = memstore_.snapshot();
+  }
+  std::set<Cell, CellOrder> merged(mem.begin(), mem.end());
+  for (const auto& f : files) {
+    auto cells = f->all_cells(*cache_);
+    if (!cells.is_ok()) return cells.status();
+    for (auto& c : cells.value()) merged.insert(std::move(c));
+  }
+  return std::vector<Cell>(merged.begin(), merged.end());
+}
+
+std::size_t Region::memstore_bytes() const {
+  std::lock_guard lock(mutex_);
+  return memstore_.byte_size();
+}
+
+std::size_t Region::store_file_count() const {
+  std::lock_guard lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace tfr

@@ -1,0 +1,113 @@
+// Region — one contiguous key range of a table hosted by a region server
+// (§2.1): an MVCC memstore for recent updates plus a list of immutable store
+// files in the DFS, read through the server's block cache.
+//
+// The region lifecycle is where the paper's server-recovery hook lives:
+//
+//   kOpening    — store files attached, split-WAL edits being replayed
+//                 (HBase's internal recovery)
+//   kGated      — internal recovery done; the region waits for the recovery
+//                 manager's transactional recovery before going online
+//                 (Algorithm 3, opening_region). Only recovery-replay writes
+//                 are admitted in this state.
+//   kOnline     — serving
+//   kOffline    — closed or lost in a crash
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dfs/dfs.h"
+#include "src/kv/block_cache.h"
+#include "src/kv/memstore.h"
+#include "src/kv/store_file.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+enum class RegionState { kOpening, kGated, kOnline, kOffline };
+
+std::string_view region_state_name(RegionState s);
+
+class Region {
+ public:
+  /// `store_block_bytes`: target block size for store files written by
+  /// memstore flushes (cache/warm-up granularity).
+  Region(RegionDescriptor desc, Dfs& dfs, BlockCache& cache,
+         std::size_t store_block_bytes = 16 * 1024);
+
+  const RegionDescriptor& descriptor() const { return desc_; }
+  std::string name() const { return desc_.name(); }
+
+  RegionState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(RegionState s) { state_.store(s, std::memory_order_release); }
+
+  /// Attach the store files this region already has in the DFS (called on
+  /// open, before replaying any edits).
+  Status load_store_files();
+
+  /// Apply already-WAL-logged cells to the memstore. `wal_seq` (when
+  /// non-zero) is the sequence number of the WAL record carrying these
+  /// cells; the region remembers the oldest un-flushed one so the server
+  /// knows which WAL segments are still needed (truncation bound).
+  void apply(const std::vector<Cell>& cells, std::uint64_t wal_seq = 0);
+
+  /// Sequence number of the oldest WAL record whose cells are only in the
+  /// memstore (0 when everything is flushed to store files).
+  std::uint64_t min_unflushed_wal_seq() const;
+
+  /// Newest value of (row, column) visible at read_ts, merging memstore and
+  /// store files. Tombstoned values read as NotFound.
+  Result<std::optional<Cell>> get(const std::string& row, const std::string& column,
+                                  Timestamp read_ts);
+
+  /// Rows in [start, end) visible at read_ts (at most `limit` rows; 0 = no
+  /// limit). Returns cells of the visible version per (row, column).
+  Result<std::vector<Cell>> scan(const std::string& start, const std::string& end,
+                                 Timestamp read_ts, std::size_t limit);
+
+  /// Flush the memstore to a new store file in the DFS and clear it. The
+  /// region's updates become durable in the data files themselves, allowing
+  /// WAL truncation in a real system. No-op on an empty memstore.
+  Status flush_memstore();
+
+  /// Compaction: merge all store files into one, dropping versions that no
+  /// snapshot can still read. `prune_before_ts` must be at or below the
+  /// oldest snapshot in use (e.g. the global TP); per (row, column), every
+  /// version newer than it is kept plus the newest one at or below it —
+  /// unless that survivor is a tombstone, in which case the whole column
+  /// vanishes. Pass kNoTimestamp to merge without pruning. No-op with
+  /// fewer than two store files; returns Unavailable if a concurrent
+  /// memstore flush lands mid-compaction (just retry later).
+  Status compact(Timestamp prune_before_ts = kNoTimestamp);
+
+  /// All cells of this region, every version, memstore and store files
+  /// merged and de-duplicated, in (row, column, ts desc) order. Region
+  /// splits use this to materialize the children.
+  Result<std::vector<Cell>> dump_cells();
+
+  std::size_t memstore_bytes() const;
+  std::size_t store_file_count() const;
+
+  /// Directory of this region's store files in the DFS.
+  std::string data_dir() const;
+
+ private:
+  RegionDescriptor desc_;
+  Dfs* dfs_;
+  BlockCache* cache_;
+  std::size_t store_block_bytes_;
+  std::atomic<RegionState> state_{RegionState::kOpening};
+
+  mutable std::mutex mutex_;  // guards memstore_ and files_
+  Memstore memstore_;
+  std::vector<std::shared_ptr<StoreFileReader>> files_;  // newest first
+  std::uint64_t next_file_id_ = 0;
+  std::uint64_t min_unflushed_wal_seq_ = 0;
+};
+
+}  // namespace tfr

@@ -1,0 +1,440 @@
+#include "src/kv/region_server.h"
+
+#include "src/kv/rpc_messages.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+RegionServer::RegionServer(std::string id, Dfs& dfs, Coord& coord, RegionServerConfig config)
+    : id_(std::move(id)),
+      dfs_(&dfs),
+      coord_(&coord),
+      config_(config),
+      cache_(config.block_cache_bytes),
+      handlers_(config.handler_slots),
+      rpc_model_(config.rpc_latency, config.rpc_jitter),
+      read_service_(config.read_service, 0),
+      write_service_(config.write_service, 0),
+      wal_syncer_([this] { wal_sync_tick(); }, config.wal_sync_interval),
+      heartbeats_([this] { heartbeat_tick(); }, config.heartbeat_interval) {}
+
+RegionServer::~RegionServer() {
+  heartbeats_.stop();
+  wal_syncer_.stop();
+  std::lock_guard lock(terminator_mutex_);
+  if (self_terminator_.joinable()) self_terminator_.join();
+}
+
+Status RegionServer::start() {
+  auto wal = Wal::create(*dfs_, wal_path());
+  if (!wal.is_ok()) return wal.status();
+  wal_ = std::move(wal).value();
+  // If a persist tracker is already installed, register with its initial
+  // TP(s) so the session never reports a meaningless payload.
+  PreHeartbeatHook hook;
+  {
+    std::lock_guard lock(hooks_mutex_);
+    hook = pre_heartbeat_hook_;
+  }
+  const Timestamp initial_payload = hook ? hook() : 0;
+  TFR_RETURN_IF_ERROR(coord_->create_session("servers", id_, config_.session_ttl,
+                                             initial_payload));
+  alive_.store(true, std::memory_order_release);
+  if (!config_.sync_wal_on_write) wal_syncer_.start();
+  heartbeats_.start();
+  TFR_LOG(INFO, "rs") << id_ << " started (wal=" << wal_path() << ")";
+  return Status::ok();
+}
+
+Status RegionServer::shutdown() {
+  if (!alive_.exchange(false, std::memory_order_acq_rel)) return Status::ok();
+  heartbeats_.stop();
+  wal_syncer_.stop();
+  {
+    std::shared_lock lock(regions_mutex_);
+    for (auto& [name, region] : regions_) {
+      TFR_RETURN_IF_ERROR(region->flush_memstore());
+      region->set_state(RegionState::kOffline);
+    }
+  }
+  TFR_RETURN_IF_ERROR(wal_->sync());
+  // Pre-shutdown heartbeat: report final progress, then unregister cleanly.
+  PreHeartbeatHook hook;
+  {
+    std::lock_guard lock(hooks_mutex_);
+    hook = pre_heartbeat_hook_;
+  }
+  const Timestamp payload = hook ? hook() : 0;
+  (void)coord_->heartbeat("servers", id_, payload);
+  TFR_RETURN_IF_ERROR(coord_->close_session("servers", id_));
+  TFR_LOG(INFO, "rs") << id_ << " shut down cleanly";
+  return Status::ok();
+}
+
+void RegionServer::crash() {
+  if (!alive_.exchange(false, std::memory_order_acq_rel)) return;
+  heartbeats_.stop();
+  wal_syncer_.stop();
+  {
+    std::shared_lock lock(regions_mutex_);
+    for (auto& [name, region] : regions_) region->set_state(RegionState::kOffline);
+  }
+  wal_->crash();  // the un-synced tail is gone
+  cache_.clear();
+  TFR_LOG(INFO, "rs") << id_ << " CRASHED (synced wal seq " << wal_->synced_seq() << "/"
+                      << wal_->appended_seq() << ")";
+}
+
+void RegionServer::heartbeat_tick() {
+  if (!alive()) return;
+  PreHeartbeatHook hook;
+  {
+    std::lock_guard lock(hooks_mutex_);
+    hook = pre_heartbeat_hook_;
+  }
+  maybe_roll_wal();
+  const Timestamp payload = hook ? hook() : 0;
+  Status hb = coord_->heartbeat("servers", id_, payload);
+  if (hb.is_unavailable() && alive()) {
+    // Declared dead (the master is already reassigning our regions): a real
+    // HBase server aborts in this situation; do the same so no stale node
+    // keeps serving. crash() joins this thread, so delegate.
+    TFR_LOG(WARN, "rs") << id_ << " declared dead by the cluster; terminating";
+    std::lock_guard lock(terminator_mutex_);
+    if (!self_terminator_.joinable()) {
+      self_terminator_ = std::thread([this] { crash(); });
+    }
+  }
+}
+
+void RegionServer::wal_sync_tick() {
+  if (!alive()) return;
+  (void)wal_->sync();
+  maybe_roll_wal();
+}
+
+std::uint64_t RegionServer::wal_truncation_bound() const {
+  // A segment is reclaimable once every region's un-flushed edits start
+  // after it. Regions whose memstore is fully flushed do not constrain.
+  std::uint64_t bound = wal_->appended_seq() + 1;
+  std::shared_lock lock(regions_mutex_);
+  for (const auto& [name, region] : regions_) {
+    const std::uint64_t first = region->min_unflushed_wal_seq();
+    if (first != 0) bound = std::min(bound, first);
+  }
+  return bound;
+}
+
+void RegionServer::maybe_roll_wal() {
+  if (!alive()) return;
+  if (wal_->current_segment_bytes() > config_.wal_segment_bytes) {
+    if (Status s = wal_->roll(); !s.is_ok()) {
+      TFR_LOG(WARN, "rs") << id_ << " WAL roll failed: " << s;
+      return;
+    }
+  }
+  (void)wal_->truncate_obsolete(wal_truncation_bound());
+}
+
+std::shared_ptr<Region> RegionServer::region_for(const std::string& table,
+                                                 const std::string& row) const {
+  std::shared_lock lock(regions_mutex_);
+  for (const auto& [name, region] : regions_) {
+    const auto& d = region->descriptor();
+    if (d.table == table && d.contains(row)) return region;
+  }
+  return nullptr;
+}
+
+Status RegionServer::apply_writeset(const ApplyRequest& request) {
+  // Marshal the request exactly as a real RPC stack would: the server only
+  // ever sees the decoded wire bytes, and their size is charged against the
+  // network bandwidth on top of the per-RPC latency.
+  const std::string wire = encode_apply_request(request);
+  rpc_model_.charge();
+  sleep_micros(transfer_micros(wire.size(), config_.network_mbps));
+  auto decoded = decode_apply_request(wire);
+  if (!decoded.is_ok()) return decoded.status();
+  const ApplyRequest& req = decoded.value();
+
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  SemaphoreGuard slot(handlers_);
+  if (!alive()) return Status::unavailable("server down: " + id_);
+
+  // Group the mutations by target region; fail fast (before any side effect)
+  // if some row is not hosted here, so the client re-locates and retries with
+  // the whole slice — reapplication is idempotent.
+  std::map<std::shared_ptr<Region>, std::vector<Cell>> by_region;
+  for (const auto& m : req.mutations) {
+    auto region = region_for(req.table, m.row);
+    if (!region) {
+      return Status::unavailable("row not hosted on " + id_ + ": " + m.row);
+    }
+    const auto state = region->state();
+    const bool admissible =
+        state == RegionState::kOnline || (req.recovery_replay && state == RegionState::kGated);
+    if (!admissible) {
+      return Status::unavailable("region " + region->name() + " is " +
+                                 std::string(region_state_name(state)));
+    }
+    by_region[region].push_back(m.to_cell(req.commit_ts));
+  }
+
+  write_service_.charge();
+
+  for (auto& [region, cells] : by_region) {
+    WalRecord record;
+    record.region = region->name();
+    record.txn_id = req.txn_id;
+    record.client_id = req.client_id;
+    record.commit_ts = req.commit_ts;
+    record.cells = cells;
+    auto seq = wal_->append(std::move(record));
+    if (!seq.is_ok()) return seq.status();
+    region->apply(cells, seq.value());
+    if (region->memstore_bytes() > config_.memstore_flush_bytes) {
+      TFR_RETURN_IF_ERROR(region->flush_memstore());
+      if (config_.compaction_file_threshold != 0 &&
+          region->store_file_count() > config_.compaction_file_threshold) {
+        // Merge without pruning: snapshots of any age stay readable. A
+        // compaction that races another flush simply defers to the next one.
+        Status compacted = region->compact(kNoTimestamp);
+        if (!compacted.is_ok() && !compacted.is_unavailable()) return compacted;
+      }
+    }
+  }
+
+  if (config_.sync_wal_on_write) {
+    // Synchronous persistence: the update is durable before we return.
+    TFR_RETURN_IF_ERROR(wal_->sync());
+  }
+
+  if (!alive()) {
+    // Crashed mid-apply: the client must not count this as received.
+    return Status::unavailable("server crashed during apply: " + id_);
+  }
+
+  WritesetObserver observer;
+  {
+    std::lock_guard lock(hooks_mutex_);
+    observer = writeset_observer_;
+  }
+  if (observer) observer(req.commit_ts, req.piggyback_tp);
+  return Status::ok();
+}
+
+Result<std::optional<Cell>> RegionServer::get(const std::string& table, const std::string& row,
+                                              const std::string& column, Timestamp read_ts) {
+  rpc_model_.charge();
+  sleep_micros(transfer_micros(get_request_wire_size(table, row, column), config_.network_mbps));
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto result = [&]() -> Result<std::optional<Cell>> {
+    SemaphoreGuard slot(handlers_);
+    if (!alive()) return Status::unavailable("server down: " + id_);
+    auto region = region_for(table, row);
+    if (!region) return Status::unavailable("row not hosted on " + id_ + ": " + row);
+    if (region->state() != RegionState::kOnline) {
+      return Status::unavailable("region " + region->name() + " is " +
+                                 std::string(region_state_name(region->state())));
+    }
+    read_service_.charge();
+    return region->get(row, column, read_ts);
+  }();
+  // Response transfer (outside the handler slot: the NIC, not the handler,
+  // streams it back).
+  if (result.is_ok() && result.value().has_value()) {
+    sleep_micros(transfer_micros(cell_wire_size(*result.value()), config_.network_mbps));
+  }
+  return result;
+}
+
+Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std::string& start,
+                                             const std::string& end, Timestamp read_ts,
+                                             std::size_t limit) {
+  rpc_model_.charge();
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  SemaphoreGuard slot(handlers_);
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto region = region_for(table, start);
+  if (!region) return Status::unavailable("start row not hosted on " + id_ + ": " + start);
+  if (region->state() != RegionState::kOnline) {
+    return Status::unavailable("region " + region->name() + " is " +
+                               std::string(region_state_name(region->state())));
+  }
+  read_service_.charge();
+  auto cells = region->scan(start, end, read_ts, limit);
+  if (cells.is_ok()) {
+    std::size_t bytes = 0;
+    for (const auto& cell : cells.value()) bytes += cell_wire_size(cell);
+    sleep_micros(transfer_micros(bytes, config_.network_mbps));
+  }
+  return cells;
+}
+
+Status RegionServer::open_region(const RegionDescriptor& desc,
+                                 const std::vector<WalRecord>& recovered_edits) {
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto region = std::make_shared<Region>(desc, *dfs_, cache_, config_.store_block_bytes);
+  {
+    std::unique_lock lock(regions_mutex_);
+    if (regions_.count(desc.name())) {
+      return Status::already_exists("region already open on " + id_ + ": " + desc.name());
+    }
+    regions_[desc.name()] = region;
+  }
+  TFR_RETURN_IF_ERROR(region->load_store_files());
+
+  // HBase internal recovery: replay the split-WAL edits into a fresh
+  // memstore (§2.1). WAL them locally too, so a crash of *this* server
+  // before its next memstore flush does not re-lose them.
+  for (const auto& edit : recovered_edits) {
+    WalRecord record = edit;
+    record.region = desc.name();
+    auto seq = wal_->append(std::move(record));
+    if (!seq.is_ok()) return seq.status();
+    region->apply(edit.cells, seq.value());
+  }
+  if (!recovered_edits.empty()) {
+    TFR_RETURN_IF_ERROR(wal_->sync());
+    TFR_LOG(INFO, "rs") << id_ << " replayed " << recovered_edits.size()
+                        << " split-WAL edits into " << desc.name();
+  }
+
+  // The paper's hook: after internal recovery, before the region goes
+  // online, hand control to the recovery manager (§3.2).
+  RegionGate gate;
+  {
+    std::lock_guard lock(hooks_mutex_);
+    gate = region_gate_;
+  }
+  if (gate) {
+    region->set_state(RegionState::kGated);
+    gate(desc.name(), id_);
+  }
+  if (!alive()) return Status::unavailable("server died while opening " + desc.name());
+  region->set_state(RegionState::kOnline);
+  TFR_LOG(INFO, "rs") << id_ << " region online: " << desc.name();
+  return Status::ok();
+}
+
+Result<std::pair<RegionDescriptor, RegionDescriptor>> RegionServer::split_region(
+    const std::string& region_name) {
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto parent = region(region_name);
+  if (!parent) return Status::not_found("region not open: " + region_name);
+  if (parent->state() != RegionState::kOnline) {
+    return Status::unavailable("region not online: " + region_name);
+  }
+
+  // Take the parent out of service; clients retry until the children are up.
+  parent->set_state(RegionState::kOffline);
+  TFR_RETURN_IF_ERROR(parent->flush_memstore());
+  auto cells = parent->dump_cells();
+  if (!cells.is_ok()) return cells.status();
+  if (cells.value().empty()) {
+    parent->set_state(RegionState::kOnline);
+    return Status::invalid_argument("nothing to split in " + region_name);
+  }
+
+  // Median row = split point (rows, not cells: count distinct rows).
+  std::vector<std::string> rows;
+  for (const auto& c : cells.value()) {
+    if (rows.empty() || rows.back() != c.row) rows.push_back(c.row);
+  }
+  if (rows.size() < 2) {
+    parent->set_state(RegionState::kOnline);
+    return Status::invalid_argument("single-row region cannot split: " + region_name);
+  }
+  const std::string split_key = rows[rows.size() / 2];
+  const RegionDescriptor& pd = parent->descriptor();
+  // Fresh region ids: the left child shares the parent's start key and must
+  // still be distinguishable from it (name, data directory, WAL grouping).
+  RegionDescriptor left{pd.table, pd.start_key, split_key, next_region_id()};
+  RegionDescriptor right{pd.table, split_key, pd.end_key, next_region_id()};
+
+  // Materialize each child's store file, then open both.
+  for (const RegionDescriptor& child : {left, right}) {
+    auto region_obj = std::make_shared<Region>(child, *dfs_, cache_, config_.store_block_bytes);
+    TFR_RETURN_IF_ERROR(region_obj->load_store_files());
+    std::vector<Cell> child_cells;
+    for (const auto& cell : cells.value()) {
+      if (child.contains(cell.row)) child_cells.push_back(cell);
+    }
+    region_obj->apply(child_cells);
+    TFR_RETURN_IF_ERROR(region_obj->flush_memstore());
+    region_obj->set_state(RegionState::kOnline);
+    std::unique_lock lock(regions_mutex_);
+    regions_[child.name()] = std::move(region_obj);
+  }
+  {
+    std::unique_lock lock(regions_mutex_);
+    regions_.erase(region_name);
+  }
+  TFR_LOG(INFO, "rs") << id_ << " split " << region_name << " at '" << split_key << "'";
+  return std::make_pair(left, right);
+}
+
+Status RegionServer::offload_region(const std::string& region_name) {
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto target = region(region_name);
+  if (!target) return Status::not_found("region not open: " + region_name);
+  target->set_state(RegionState::kOffline);
+  TFR_RETURN_IF_ERROR(target->flush_memstore());
+  std::unique_lock lock(regions_mutex_);
+  regions_.erase(region_name);
+  return Status::ok();
+}
+
+Status RegionServer::compact_region(const std::string& region_name,
+                                    Timestamp prune_before_ts) {
+  auto target = region(region_name);
+  if (!target) return Status::not_found("region not open: " + region_name);
+  return target->compact(prune_before_ts);
+}
+
+Status RegionServer::close_region(const std::string& region_name) {
+  std::unique_lock lock(regions_mutex_);
+  auto it = regions_.find(region_name);
+  if (it == regions_.end()) return Status::not_found("region not open: " + region_name);
+  it->second->set_state(RegionState::kOffline);
+  regions_.erase(it);
+  return Status::ok();
+}
+
+Status RegionServer::persist_wal() {
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  return wal_->sync();
+}
+
+void RegionServer::set_writeset_observer(WritesetObserver observer) {
+  std::lock_guard lock(hooks_mutex_);
+  writeset_observer_ = std::move(observer);
+}
+
+void RegionServer::set_pre_heartbeat_hook(PreHeartbeatHook hook) {
+  std::lock_guard lock(hooks_mutex_);
+  pre_heartbeat_hook_ = std::move(hook);
+}
+
+void RegionServer::set_region_gate(RegionGate gate) {
+  std::lock_guard lock(hooks_mutex_);
+  region_gate_ = std::move(gate);
+}
+
+std::shared_ptr<Region> RegionServer::region(const std::string& name) const {
+  std::shared_lock lock(regions_mutex_);
+  auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> RegionServer::region_names() const {
+  std::shared_lock lock(regions_mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, r] : regions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tfr

@@ -1,0 +1,228 @@
+// RegionServer — hosts a set of regions, a single write-ahead log shared by
+// all of them (§2.1), and a block cache. This is the component the paper
+// modifies minimally: we expose three extension points that the recovery
+// middleware (src/recovery) plugs into, keeping the store itself unaware of
+// transactions:
+//
+//   * set_writeset_observer  — invoked on every received write-set with its
+//     commit timestamp and the recovery client's piggybacked TP(s), feeding
+//     Algorithm 3's persist queue and the TP-inheritance rule;
+//   * set_pre_heartbeat_hook — invoked just before each heartbeat to the
+//     coordination service; the recovery layer persists received write-sets
+//     (WAL sync) and returns the TP(s) payload to piggyback (Algorithm 3);
+//   * set_region_gate        — invoked after a region's internal (WAL-split)
+//     recovery completes and *before* it is declared online, so the recovery
+//     manager can replay un-persisted write-sets first (§3.2).
+//
+// Concurrency/latency model: every public RPC charges the configured network
+// latency in the caller's thread, then occupies one of `handler_slots`
+// handlers for its service time (plus any DFS reads it triggers), modelling
+// a real server's RPC handler pool.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/latency.h"
+#include "src/common/threading.h"
+#include "src/coord/coord.h"
+#include "src/dfs/dfs.h"
+#include "src/kv/block_cache.h"
+#include "src/kv/region.h"
+#include "src/kv/wal.h"
+
+namespace tfr {
+
+struct RegionServerConfig {
+  int handler_slots = 16;
+
+  /// Synchronous persistence (the Figure 2(a) baseline): every write-set is
+  /// WAL-synced to the DFS before the RPC returns. When false (the paper's
+  /// mode), the WAL is synced asynchronously every `wal_sync_interval`.
+  bool sync_wal_on_write = false;
+  Micros wal_sync_interval = millis(50);
+
+  /// Roll the WAL once the open segment exceeds this; closed segments whose
+  /// edits have all been flushed to store files are reclaimed.
+  std::uint64_t wal_segment_bytes = 8ull << 20;
+
+  std::size_t memstore_flush_bytes = 64ull << 20;
+  std::size_t block_cache_bytes = 256ull << 20;
+  std::size_t store_block_bytes = 16 * 1024;  // store-file block granularity
+
+  /// Compact a region once it accumulates this many store files (0 = never).
+  std::size_t compaction_file_threshold = 8;
+
+  Micros heartbeat_interval = seconds(1);
+  Micros session_ttl = seconds(3);  // missed-heartbeat window before declared dead
+
+  Micros rpc_latency = 0;  // per-RPC network charge (caller side)
+  Micros rpc_jitter = 0;
+
+  /// Network bandwidth in megabits/second; RPCs additionally charge the
+  /// transfer time of their marshalled bytes (0 = infinitely fast link).
+  /// The paper's testbed ran on 100 Mbps Ethernet.
+  double network_mbps = 0;
+  Micros read_service = 0;   // CPU service time per read op
+  Micros write_service = 0;  // CPU service time per write-set receipt
+};
+
+/// The slice of one transaction's write-set destined for one server, plus
+/// the recovery-replay extras of §3.2.
+struct ApplyRequest {
+  std::uint64_t txn_id = 0;
+  std::string client_id;
+  Timestamp commit_ts = kNoTimestamp;
+  std::string table;
+  std::vector<Mutation> mutations;
+
+  /// Set by the recovery client during *server* recovery: the failed
+  /// server's TP(s), which the receiving server must inherit.
+  std::optional<Timestamp> piggyback_tp;
+
+  /// True when sent by the recovery client; admits the write into a gated
+  /// (recovering) region.
+  bool recovery_replay = false;
+};
+
+class RegionServer {
+ public:
+  RegionServer(std::string id, Dfs& dfs, Coord& coord, RegionServerConfig config);
+  ~RegionServer();
+
+  RegionServer(const RegionServer&) = delete;
+  RegionServer& operator=(const RegionServer&) = delete;
+
+  const std::string& id() const { return id_; }
+  const RegionServerConfig& config() const { return config_; }
+  std::string wal_path() const { return "/wal/" + id_ + ".log"; }
+
+  /// Create the WAL, register the coordination session, start the async WAL
+  /// syncer and heartbeats.
+  Status start();
+
+  /// Clean shutdown (Algorithm 3 lines 5-7): flush regions, sync the WAL,
+  /// send a pre-shutdown heartbeat, unregister.
+  Status shutdown();
+
+  /// Crash failure: the memstores and the un-synced WAL tail are lost, RPCs
+  /// start failing, heartbeats cease (the master will detect expiry).
+  void crash();
+
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  // --- RPC surface ---------------------------------------------------------
+
+  /// Receive a write-set slice (Algorithm 3 "On receive"): append to the WAL
+  /// (possibly syncing, per mode), apply to the memstores of the covered
+  /// regions, notify the write-set observer, and return.
+  Status apply_writeset(const ApplyRequest& req);
+
+  Result<std::optional<Cell>> get(const std::string& table, const std::string& row,
+                                  const std::string& column, Timestamp read_ts);
+
+  Result<std::vector<Cell>> scan(const std::string& table, const std::string& start,
+                                 const std::string& end, Timestamp read_ts, std::size_t limit);
+
+  /// Open a region on this server: attach store files, replay split-WAL
+  /// edits (internal recovery), run the region gate, declare online.
+  Status open_region(const RegionDescriptor& desc, const std::vector<WalRecord>& recovered_edits);
+
+  Status close_region(const std::string& region_name);
+
+  /// Sync the WAL to the DFS — the "persist" step of Algorithm 3.
+  Status persist_wal();
+
+  /// Roll the WAL if the open segment is over the size threshold, then
+  /// reclaim segments made obsolete by memstore flushes. Runs periodically;
+  /// exposed for tests.
+  void maybe_roll_wal();
+
+  /// Split a region in two at the median of its keyspace: flush it, write
+  /// each half's cells into a fresh child region, bring both children
+  /// online, retire the parent. Returns the children's descriptors (the
+  /// master updates the assignment). Reads and writes keep working: during
+  /// the cutover the covered key range is Unavailable and clients retry.
+  Result<std::pair<RegionDescriptor, RegionDescriptor>> split_region(
+      const std::string& region_name);
+
+  /// Flush a region's memstore and close it here so another server can open
+  /// it from its store files (region move / load balancing).
+  Status offload_region(const std::string& region_name);
+
+  /// Merge a region's store files (see Region::compact).
+  Status compact_region(const std::string& region_name,
+                        Timestamp prune_before_ts = kNoTimestamp);
+
+  // --- recovery extension points -------------------------------------------
+
+  using WritesetObserver = std::function<void(Timestamp commit_ts,
+                                              std::optional<Timestamp> piggyback_tp)>;
+  using PreHeartbeatHook = std::function<Timestamp()>;
+  using RegionGate = std::function<void(const std::string& region_name,
+                                        const std::string& server_id)>;
+
+  void set_writeset_observer(WritesetObserver observer);
+  void set_pre_heartbeat_hook(PreHeartbeatHook hook);
+  void set_region_gate(RegionGate gate);
+
+  // --- introspection --------------------------------------------------------
+
+  std::shared_ptr<Region> region(const std::string& name) const;
+  std::vector<std::string> region_names() const;
+  Wal& wal() { return *wal_; }
+  BlockCache& block_cache() { return cache_; }
+
+  /// Force one heartbeat now (tests use this instead of waiting).
+  void heartbeat_now() { heartbeat_tick(); }
+
+  /// Change the heartbeat interval at runtime (the Figure 2(b) sweep). The
+  /// failure-detection window scales with it (TTL = 3 intervals).
+  void set_heartbeat_interval(Micros interval) {
+    (void)coord_->update_ttl("servers", id_, interval * 3);
+    heartbeats_.set_interval(interval);
+    heartbeat_now();
+  }
+
+ private:
+  void heartbeat_tick();
+  void wal_sync_tick();
+  std::uint64_t wal_truncation_bound() const;
+  std::shared_ptr<Region> region_for(const std::string& table, const std::string& row) const;
+
+  std::string id_;
+  Dfs* dfs_;
+  Coord* coord_;
+  RegionServerConfig config_;
+
+  std::atomic<bool> alive_{false};
+  std::unique_ptr<Wal> wal_;
+  BlockCache cache_;
+  Semaphore handlers_;
+  LatencyModel rpc_model_;
+  LatencyModel read_service_;
+  LatencyModel write_service_;
+
+  mutable std::shared_mutex regions_mutex_;
+  std::map<std::string, std::shared_ptr<Region>> regions_;
+
+  std::mutex hooks_mutex_;
+  WritesetObserver writeset_observer_;
+  PreHeartbeatHook pre_heartbeat_hook_;
+  RegionGate region_gate_;
+
+  PeriodicTask wal_syncer_;
+  PeriodicTask heartbeats_;
+
+  std::mutex terminator_mutex_;
+  std::thread self_terminator_;  // runs crash() when declared dead
+};
+
+}  // namespace tfr

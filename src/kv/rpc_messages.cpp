@@ -1,0 +1,63 @@
+#include "src/kv/rpc_messages.h"
+
+#include "src/common/codec.h"
+
+namespace tfr {
+
+std::string encode_apply_request(const ApplyRequest& req) {
+  std::string out;
+  Encoder enc(&out);
+  enc.put_u64(req.txn_id);
+  enc.put_string(req.client_id);
+  enc.put_i64(req.commit_ts);
+  enc.put_string(req.table);
+  enc.put_u32(static_cast<std::uint32_t>(req.mutations.size()));
+  for (const auto& m : req.mutations) encode_mutation(enc, m);
+  enc.put_u8(req.piggyback_tp.has_value() ? 1 : 0);
+  if (req.piggyback_tp) enc.put_i64(*req.piggyback_tp);
+  enc.put_u8(req.recovery_replay ? 1 : 0);
+  return out;
+}
+
+Result<ApplyRequest> decode_apply_request(std::string_view wire) {
+  Decoder dec(wire);
+  ApplyRequest req;
+  TFR_RETURN_IF_ERROR(dec.get_u64(&req.txn_id));
+  TFR_RETURN_IF_ERROR(dec.get_string(&req.client_id));
+  TFR_RETURN_IF_ERROR(dec.get_i64(&req.commit_ts));
+  TFR_RETURN_IF_ERROR(dec.get_string(&req.table));
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&n));
+  req.mutations.resize(n);
+  for (auto& m : req.mutations) TFR_RETURN_IF_ERROR(decode_mutation(dec, &m));
+  std::uint8_t has_piggyback = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u8(&has_piggyback));
+  if (has_piggyback != 0) {
+    Timestamp tp = kNoTimestamp;
+    TFR_RETURN_IF_ERROR(dec.get_i64(&tp));
+    req.piggyback_tp = tp;
+  }
+  std::uint8_t replay = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u8(&replay));
+  req.recovery_replay = (replay != 0);
+  if (!dec.done()) return Status::corruption("trailing bytes in ApplyRequest");
+  return req;
+}
+
+std::size_t get_request_wire_size(const std::string& table, const std::string& row,
+                                  const std::string& column) {
+  // Three length-prefixed strings plus the snapshot timestamp.
+  return table.size() + row.size() + column.size() + 3 * 4 + 8;
+}
+
+std::size_t cell_wire_size(const Cell& cell) {
+  return cell.row.size() + cell.column.size() + cell.value.size() + 3 * 4 + 8 + 1;
+}
+
+Micros transfer_micros(std::size_t bytes, double mbps) {
+  if (mbps <= 0) return 0;
+  // bits / (mbps * 10^6 bits/s) seconds -> microseconds.
+  return static_cast<Micros>(static_cast<double>(bytes) * 8.0 / mbps);
+}
+
+}  // namespace tfr

@@ -1,0 +1,30 @@
+// Wire formats for the client <-> region-server RPCs. The paper's system
+// spoke to HBase through its RPC stack (and a C++ client would have gone
+// through Thrift glue); we keep that boundary honest by actually
+// marshalling every request: the server decodes the bytes it was sent, and
+// the byte count feeds the network model's transfer-time accounting
+// (the paper's testbed ran on 100 Mbps Ethernet, where a 1 KB write-set
+// costs ~80 us on the wire).
+#pragma once
+
+#include "src/kv/region_server.h"
+
+namespace tfr {
+
+/// Serialize an ApplyRequest to its wire form.
+std::string encode_apply_request(const ApplyRequest& req);
+
+/// Decode the wire form; Corruption on malformed input.
+Result<ApplyRequest> decode_apply_request(std::string_view wire);
+
+/// Wire sizes of the simple read RPCs (the requests are tiny and the
+/// response carries the data; both sides count).
+std::size_t get_request_wire_size(const std::string& table, const std::string& row,
+                                  const std::string& column);
+std::size_t cell_wire_size(const Cell& cell);
+
+/// Transfer time of `bytes` over a link of `mbps` megabits/second
+/// (0 = infinitely fast network).
+Micros transfer_micros(std::size_t bytes, double mbps);
+
+}  // namespace tfr

@@ -1,0 +1,205 @@
+#include "src/kv/store_file.h"
+
+#include <algorithm>
+
+#include "src/common/crc32.h"
+
+namespace tfr {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x7f5bf11e;
+constexpr std::size_t kFooterSize = 8 + 8 + 8 + 4;
+}  // namespace
+
+StoreFileWriter::StoreFileWriter(std::size_t target_block_bytes)
+    : target_block_bytes_(target_block_bytes) {}
+
+void StoreFileWriter::add(const Cell& cell) {
+  // Rotate only between rows: a (row, column) version chain must never
+  // straddle a block boundary.
+  if (current_cells_ > 0 && current_block_.size() >= target_block_bytes_ &&
+      cell.row != current_last_row_) {
+    rotate_block();
+  }
+  if (current_cells_ == 0) current_first_row_ = cell.row;
+  current_last_row_ = cell.row;
+  Encoder enc(&current_block_);
+  encode_cell(enc, cell);
+  ++current_cells_;
+  ++cell_count_;
+  if (cell.ts > max_ts_) max_ts_ = cell.ts;
+}
+
+void StoreFileWriter::rotate_block() {
+  if (current_cells_ == 0) return;
+  IndexEntry entry;
+  entry.first_row = current_first_row_;
+  entry.offset = file_data_.size();
+  std::string framed;
+  Encoder enc(&framed);
+  enc.put_u32(current_cells_);
+  enc.put_u32(crc32c(current_block_));
+  framed += current_block_;
+  entry.length = framed.size();
+  file_data_ += framed;
+  index_.push_back(std::move(entry));
+  current_block_.clear();
+  current_cells_ = 0;
+}
+
+Status StoreFileWriter::finish(Dfs& dfs, const std::string& path) {
+  rotate_block();
+  const std::uint64_t index_offset = file_data_.size();
+  std::string index_data;
+  Encoder ienc(&index_data);
+  ienc.put_u32(static_cast<std::uint32_t>(index_.size()));
+  for (const auto& e : index_) {
+    ienc.put_string(e.first_row);
+    ienc.put_u64(e.offset);
+    ienc.put_u64(e.length);
+  }
+  file_data_ += index_data;
+  Encoder fenc(&file_data_);
+  fenc.put_u64(index_offset);
+  fenc.put_u64(index_data.size());
+  fenc.put_i64(max_ts_);
+  fenc.put_u32(kMagic);
+  return dfs.write_file(path, file_data_);
+}
+
+Result<std::shared_ptr<StoreFileReader>> StoreFileReader::open(Dfs& dfs, std::string path) {
+  auto size = dfs.durable_size(path);
+  if (!size.is_ok()) return size.status();
+  if (size.value() < kFooterSize) return Status::corruption("store file too small: " + path);
+
+  auto footer = dfs.read(path, size.value() - kFooterSize, kFooterSize);
+  if (!footer.is_ok()) return footer.status();
+  Decoder fdec(footer.value());
+  std::uint64_t index_offset = 0, index_length = 0;
+  Timestamp max_ts = 0;
+  std::uint32_t magic = 0;
+  TFR_RETURN_IF_ERROR(fdec.get_u64(&index_offset));
+  TFR_RETURN_IF_ERROR(fdec.get_u64(&index_length));
+  TFR_RETURN_IF_ERROR(fdec.get_i64(&max_ts));
+  TFR_RETURN_IF_ERROR(fdec.get_u32(&magic));
+  if (magic != kMagic) return Status::corruption("bad store file magic: " + path);
+
+  auto index_data = dfs.read(path, index_offset, index_length);
+  if (!index_data.is_ok()) return index_data.status();
+  Decoder idec(index_data.value());
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(idec.get_u32(&n));
+
+  auto reader = std::shared_ptr<StoreFileReader>(new StoreFileReader(dfs, std::move(path)));
+  reader->max_ts_ = max_ts;
+  reader->index_.resize(n);
+  for (auto& e : reader->index_) {
+    TFR_RETURN_IF_ERROR(idec.get_string(&e.first_row));
+    TFR_RETURN_IF_ERROR(idec.get_u64(&e.offset));
+    TFR_RETURN_IF_ERROR(idec.get_u64(&e.length));
+  }
+  return reader;
+}
+
+Result<BlockPtr> StoreFileReader::load_block(std::size_t idx) const {
+  const auto& e = index_[idx];
+  auto raw = dfs_->read(path_, e.offset, e.length);
+  if (!raw.is_ok()) return raw.status();
+  Decoder dec(raw.value());
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&n));
+  std::uint32_t stored_crc = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&stored_crc));
+  if (crc32c(std::string_view(raw.value()).substr(dec.position())) != stored_crc) {
+    return Status::corruption("store-file block checksum mismatch in " + path_);
+  }
+  auto block = std::make_shared<CacheBlock>();
+  block->cells.resize(n);
+  for (auto& c : block->cells) {
+    TFR_RETURN_IF_ERROR(decode_cell(dec, &c));
+    block->byte_size += c.byte_size();
+  }
+  return BlockPtr(block);
+}
+
+Result<BlockPtr> StoreFileReader::cached_block(BlockCache& cache, std::size_t idx) const {
+  return cache.get_or_load(path_ + "#" + std::to_string(idx),
+                           [this, idx] { return load_block(idx); });
+}
+
+std::size_t StoreFileReader::block_for(const std::string& row) const {
+  // Last index entry with first_row <= row.
+  auto it = std::upper_bound(index_.begin(), index_.end(), row,
+                             [](const std::string& r, const IndexEntry& e) {
+                               return r < e.first_row;
+                             });
+  if (it == index_.begin()) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(std::distance(index_.begin(), it) - 1);
+}
+
+Result<std::optional<Cell>> StoreFileReader::get(BlockCache& cache, const std::string& row,
+                                                 const std::string& column,
+                                                 Timestamp read_ts) const {
+  if (index_.empty()) return std::optional<Cell>{};
+  const auto idx = block_for(row);
+  if (idx == static_cast<std::size_t>(-1)) return std::optional<Cell>{};
+  auto block = cached_block(cache, idx);
+  if (!block.is_ok()) return block.status();
+  const auto& cells = block.value()->cells;
+  // Cells are ordered (row, column, ts desc); find the newest ts <= read_ts.
+  auto it = std::lower_bound(cells.begin(), cells.end(), std::tie(row, column, read_ts),
+                             [](const Cell& c, const auto& key) {
+                               const auto& [krow, kcol, kts] = key;
+                               if (c.row != krow) return c.row < krow;
+                               if (c.column != kcol) return c.column < kcol;
+                               return c.ts > kts;  // descending ts
+                             });
+  if (it == cells.end() || it->row != row || it->column != column) return std::optional<Cell>{};
+  return std::optional<Cell>(*it);
+}
+
+Result<std::vector<Cell>> StoreFileReader::scan(BlockCache& cache, const std::string& start,
+                                                const std::string& end,
+                                                Timestamp read_ts) const {
+  std::vector<Cell> out;
+  if (index_.empty()) return out;
+  std::size_t idx = block_for(start);
+  if (idx == static_cast<std::size_t>(-1)) idx = 0;
+  for (; idx < index_.size(); ++idx) {
+    if (!end.empty() && index_[idx].first_row >= end) break;
+    auto block = cached_block(cache, idx);
+    if (!block.is_ok()) return block.status();
+    const auto& cells = block.value()->cells;
+    for (std::size_t i = 0; i < cells.size();) {
+      const Cell& c = cells[i];
+      if (c.row < start || (!end.empty() && c.row >= end)) {
+        ++i;
+        continue;
+      }
+      // Newest visible version of this (row, column); skip older ones.
+      bool taken = false;
+      const std::string& row = c.row;
+      const std::string& col = c.column;
+      while (i < cells.size() && cells[i].row == row && cells[i].column == col) {
+        if (!taken && cells[i].ts <= read_ts) {
+          out.push_back(cells[i]);
+          taken = true;
+        }
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Cell>> StoreFileReader::all_cells(BlockCache& cache) const {
+  std::vector<Cell> out;
+  for (std::size_t idx = 0; idx < index_.size(); ++idx) {
+    auto block = cached_block(cache, idx);
+    if (!block.is_ok()) return block.status();
+    out.insert(out.end(), block.value()->cells.begin(), block.value()->cells.end());
+  }
+  return out;
+}
+
+}  // namespace tfr

@@ -1,0 +1,107 @@
+// Immutable store files (HBase HFiles / BigTable SSTables). A memstore
+// flush writes one store file to the DFS; region reads consult the memstore
+// first, then store files newest-first, fetching blocks through the
+// BlockCache.
+//
+// On-disk layout:
+//   [block 0][block 1]...[block n-1][index][footer]
+//   block : u32 cell_count, cells (sorted by row, column, ts desc)
+//   index : u32 entry_count, entries { string first_row, u64 off, u64 len }
+//   footer: u64 index_offset, u64 index_length, i64 max_ts, u32 magic
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dfs/dfs.h"
+#include "src/kv/block_cache.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+/// Builds one store file from cells supplied in sorted order.
+class StoreFileWriter {
+ public:
+  /// `target_block_bytes`: flush a block once it reaches this size.
+  explicit StoreFileWriter(std::size_t target_block_bytes = 16 * 1024);
+
+  /// Cells must arrive in (row, column, ts desc) order — exactly the order
+  /// Memstore::snapshot() produces. Blocks rotate only at row boundaries so
+  /// a row's whole version chain lives in one block (the reader relies on
+  /// this to resolve a lookup with a single block fetch).
+  void add(const Cell& cell);
+
+  /// Finish and persist to the DFS at `path` (create + append + sync).
+  Status finish(Dfs& dfs, const std::string& path);
+
+  std::size_t cell_count() const { return cell_count_; }
+
+ private:
+  void rotate_block();
+
+  std::size_t target_block_bytes_;
+  std::string file_data_;
+  std::string current_block_;
+  std::string current_first_row_;
+  std::string current_last_row_;
+  std::uint32_t current_cells_ = 0;
+  std::size_t cell_count_ = 0;
+  Timestamp max_ts_ = kNoTimestamp;
+
+  struct IndexEntry {
+    std::string first_row;
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+/// Read side. Opening reads the footer and index (two DFS reads); block
+/// fetches go through the shared BlockCache.
+class StoreFileReader {
+ public:
+  static Result<std::shared_ptr<StoreFileReader>> open(Dfs& dfs, std::string path);
+
+  /// Newest version of (row, column) with ts <= read_ts in this file.
+  Result<std::optional<Cell>> get(BlockCache& cache, const std::string& row,
+                                  const std::string& column, Timestamp read_ts) const;
+
+  /// All cells with row in [start, end) visible at read_ts (newest version
+  /// per row/column within this file; merging across files is the caller's
+  /// job).
+  Result<std::vector<Cell>> scan(BlockCache& cache, const std::string& start,
+                                 const std::string& end, Timestamp read_ts) const;
+
+  /// Every cell in the file, all versions, in (row, column, ts desc) order.
+  /// Used by compaction and region splits.
+  Result<std::vector<Cell>> all_cells(BlockCache& cache) const;
+
+  const std::string& path() const { return path_; }
+  Timestamp max_ts() const { return max_ts_; }
+  std::size_t block_count() const { return index_.size(); }
+
+ private:
+  StoreFileReader(Dfs& dfs, std::string path) : dfs_(&dfs), path_(std::move(path)) {}
+
+  Result<BlockPtr> load_block(std::size_t idx) const;
+  Result<BlockPtr> cached_block(BlockCache& cache, std::size_t idx) const;
+
+  /// Index of the last block whose first_row <= row, or npos if row precedes
+  /// the whole file.
+  std::size_t block_for(const std::string& row) const;
+
+  Dfs* dfs_;
+  std::string path_;
+  Timestamp max_ts_ = kNoTimestamp;
+
+  struct IndexEntry {
+    std::string first_row;
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,82 @@
+#include "src/kv/types.h"
+
+#include <atomic>
+
+namespace tfr {
+
+std::uint64_t next_region_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+void encode_cell(Encoder& enc, const Cell& cell) {
+  enc.put_string(cell.row);
+  enc.put_string(cell.column);
+  enc.put_string(cell.value);
+  enc.put_i64(cell.ts);
+  enc.put_u8(cell.tombstone ? 1 : 0);
+}
+
+Status decode_cell(Decoder& dec, Cell* cell) {
+  TFR_RETURN_IF_ERROR(dec.get_string(&cell->row));
+  TFR_RETURN_IF_ERROR(dec.get_string(&cell->column));
+  TFR_RETURN_IF_ERROR(dec.get_string(&cell->value));
+  TFR_RETURN_IF_ERROR(dec.get_i64(&cell->ts));
+  std::uint8_t t = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u8(&t));
+  cell->tombstone = (t != 0);
+  return Status::ok();
+}
+
+void encode_mutation(Encoder& enc, const Mutation& m) {
+  enc.put_string(m.row);
+  enc.put_string(m.column);
+  enc.put_string(m.value);
+  enc.put_u8(m.is_delete ? 1 : 0);
+}
+
+Status decode_mutation(Decoder& dec, Mutation* m) {
+  TFR_RETURN_IF_ERROR(dec.get_string(&m->row));
+  TFR_RETURN_IF_ERROR(dec.get_string(&m->column));
+  TFR_RETURN_IF_ERROR(dec.get_string(&m->value));
+  std::uint8_t d = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u8(&d));
+  m->is_delete = (d != 0);
+  return Status::ok();
+}
+
+std::string WriteSet::encode() const {
+  std::string out;
+  Encoder enc(&out);
+  enc.put_u64(txn_id);
+  enc.put_string(client_id);
+  enc.put_i64(commit_ts);
+  enc.put_string(table);
+  enc.put_u32(static_cast<std::uint32_t>(mutations.size()));
+  for (const auto& m : mutations) encode_mutation(enc, m);
+  return out;
+}
+
+Result<WriteSet> WriteSet::decode(std::string_view data) {
+  Decoder dec(data);
+  WriteSet ws;
+  TFR_RETURN_IF_ERROR(dec.get_u64(&ws.txn_id));
+  TFR_RETURN_IF_ERROR(dec.get_string(&ws.client_id));
+  TFR_RETURN_IF_ERROR(dec.get_i64(&ws.commit_ts));
+  TFR_RETURN_IF_ERROR(dec.get_string(&ws.table));
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&n));
+  ws.mutations.resize(n);
+  for (auto& m : ws.mutations) TFR_RETURN_IF_ERROR(decode_mutation(dec, &m));
+  return ws;
+}
+
+std::size_t WriteSet::byte_size() const {
+  std::size_t n = 8 + client_id.size() + 8 + table.size() + 4;
+  for (const auto& m : mutations) {
+    n += m.row.size() + m.column.size() + m.value.size() + 13;
+  }
+  return n;
+}
+
+}  // namespace tfr

@@ -1,0 +1,202 @@
+#include "src/kv/wal.h"
+
+#include <algorithm>
+
+#include "src/common/codec.h"
+#include "src/common/crc32.h"
+#include "src/common/logging.h"
+
+namespace tfr {
+
+std::string WalRecord::encode() const {
+  std::string payload;
+  Encoder enc(&payload);
+  enc.put_string(region);
+  enc.put_u64(seq);
+  enc.put_u64(txn_id);
+  enc.put_string(client_id);
+  enc.put_i64(commit_ts);
+  enc.put_u32(static_cast<std::uint32_t>(cells.size()));
+  for (const auto& c : cells) encode_cell(enc, c);
+  std::string framed;
+  Encoder fenc(&framed);
+  fenc.put_string(payload);       // length-prefixed frame...
+  fenc.put_u32(crc32c(payload));  // ...with an integrity checksum
+  return framed;
+}
+
+Result<WalRecord> WalRecord::decode(std::string_view data) {
+  Decoder dec(data);
+  WalRecord r;
+  TFR_RETURN_IF_ERROR(dec.get_string(&r.region));
+  TFR_RETURN_IF_ERROR(dec.get_u64(&r.seq));
+  TFR_RETURN_IF_ERROR(dec.get_u64(&r.txn_id));
+  TFR_RETURN_IF_ERROR(dec.get_string(&r.client_id));
+  TFR_RETURN_IF_ERROR(dec.get_i64(&r.commit_ts));
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&n));
+  r.cells.resize(n);
+  for (auto& c : r.cells) TFR_RETURN_IF_ERROR(decode_cell(dec, &c));
+  return r;
+}
+
+std::string Wal::segment_path(const std::string& base, std::uint64_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".%08llu", static_cast<unsigned long long>(index));
+  return base + buf;
+}
+
+Result<std::unique_ptr<Wal>> Wal::create(Dfs& dfs, std::string base_path) {
+  auto wal = std::unique_ptr<Wal>(new Wal(dfs, std::move(base_path)));
+  std::lock_guard lock(wal->mutex_);
+  TFR_RETURN_IF_ERROR(wal->open_segment_locked());
+  return wal;
+}
+
+Status Wal::open_segment_locked() {
+  Segment seg;
+  seg.path = segment_path(base_path_, next_segment_index_++);
+  TFR_RETURN_IF_ERROR(dfs_->create(seg.path));
+  segments_.push_back(std::move(seg));
+  return Status::ok();
+}
+
+Result<std::uint64_t> Wal::append(WalRecord record) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  record.seq = seq;
+  const std::string framed = record.encode();
+  Segment& seg = segments_.back();
+  TFR_RETURN_IF_ERROR(dfs_->append(seg.path, framed));
+  if (seg.first_seq == 0) seg.first_seq = seq;
+  seg.last_seq = std::max(seg.last_seq, seq);
+  seg.bytes += framed.size();
+  return seq;
+}
+
+Status Wal::sync() {
+  std::lock_guard sync_lock(sync_mutex_);
+  // Capture the frontier and the open segment before syncing: everything
+  // appended before this point is covered by the DFS sync below.
+  std::string open_path;
+  std::uint64_t frontier = 0;
+  {
+    std::lock_guard lock(mutex_);
+    open_path = segments_.back().path;
+    frontier = next_seq_.load(std::memory_order_acquire) - 1;
+  }
+  if (frontier <= synced_seq_.load(std::memory_order_acquire)) return Status::ok();
+  auto synced = dfs_->sync(open_path);
+  if (!synced.is_ok()) return synced.status();
+  std::uint64_t prev = synced_seq_.load(std::memory_order_relaxed);
+  while (prev < frontier &&
+         !synced_seq_.compare_exchange_weak(prev, frontier, std::memory_order_release)) {
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status Wal::roll() {
+  // Make the closing segment fully durable first.
+  TFR_RETURN_IF_ERROR(sync());
+  std::lock_guard lock(mutex_);
+  TFR_RETURN_IF_ERROR(dfs_->close(segments_.back().path));
+  TFR_RETURN_IF_ERROR(open_segment_locked());
+  ++rolls_;
+  TFR_LOG(DEBUG, "wal") << base_path_ << " rolled to segment " << segments_.back().path;
+  return Status::ok();
+}
+
+std::size_t Wal::truncate_obsolete(std::uint64_t min_needed_seq) {
+  std::lock_guard lock(mutex_);
+  std::size_t removed = 0;
+  // The open segment (back) is never removed; closed segments go once every
+  // record in them precedes the oldest still-needed sequence number.
+  while (segments_.size() > 1) {
+    const Segment& seg = segments_.front();
+    const bool empty = seg.first_seq == 0;
+    if (!empty && seg.last_seq >= min_needed_seq) break;
+    (void)dfs_->remove(seg.path);
+    segments_.erase(segments_.begin());
+    ++removed;
+  }
+  truncated_ += removed;
+  if (removed > 0) {
+    TFR_LOG(DEBUG, "wal") << base_path_ << " reclaimed " << removed
+                          << " segments below seq " << min_needed_seq;
+  }
+  return removed;
+}
+
+std::uint64_t Wal::current_segment_bytes() const {
+  std::lock_guard lock(mutex_);
+  return segments_.back().bytes;
+}
+
+void Wal::crash() {
+  std::lock_guard lock(mutex_);
+  // Closed segments were synced by roll(); only the open one has a volatile
+  // tail.
+  dfs_->writer_crashed(segments_.back().path);
+}
+
+WalStats Wal::stats() const {
+  WalStats s;
+  s.appended_records = appended_seq();
+  s.synced_records = synced_seq();
+  s.syncs = sync_count_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  s.rolls = rolls_;
+  s.segments_truncated = truncated_;
+  s.live_segments = segments_.size();
+  return s;
+}
+
+Result<std::vector<WalRecord>> Wal::read_records(Dfs& dfs, const std::string& base_path) {
+  // Live segments are whatever still exists under the base path, in index
+  // (and therefore sequence) order.
+  auto paths = dfs.list(base_path + ".");
+  if (paths.empty()) return Status::not_found("no WAL segments under " + base_path);
+  std::sort(paths.begin(), paths.end());
+  std::vector<WalRecord> out;
+  for (const auto& path : paths) {
+    auto data = dfs.read_all(path);
+    if (!data.is_ok()) return data.status();
+    Decoder dec(data.value());
+    while (!dec.done()) {
+      std::string payload;
+      const auto before = dec.position();
+      std::uint32_t stored_crc = 0;
+      Status s = dec.get_string(&payload);
+      if (s.is_ok()) s = dec.get_u32(&stored_crc);
+      if (!s.is_ok()) {
+        // A torn final frame can only occur if a sync raced a crash; the
+        // durable prefix up to the last whole record is still valid.
+        TFR_LOG(WARN, "wal") << "torn WAL tail in " << path << " at offset " << before;
+        break;
+      }
+      if (crc32c(payload) != stored_crc) {
+        return Status::corruption("WAL record checksum mismatch in " + path);
+      }
+      auto rec = WalRecord::decode(payload);
+      if (!rec.is_ok()) return rec.status();
+      out.push_back(std::move(rec).value());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WalRecord& a, const WalRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+Result<std::map<std::string, std::vector<WalRecord>>> Wal::split(Dfs& dfs,
+                                                                 const std::string& base_path) {
+  auto records = read_records(dfs, base_path);
+  if (!records.is_ok()) return records.status();
+  std::map<std::string, std::vector<WalRecord>> grouped;
+  for (auto& r : records.value()) {
+    grouped[r.region].push_back(std::move(r));
+  }
+  return grouped;
+}
+
+}  // namespace tfr

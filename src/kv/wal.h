@@ -1,0 +1,129 @@
+// The per-region-server write-ahead log (§2.1). Every incoming update is
+// appended here before being applied to the memstore. The paper's key
+// configuration is to *disable the synchronous flush* of this log: appends
+// go to the DFS write pipeline immediately but are only made durable by an
+// asynchronous periodic sync — trading the per-update durability of stock
+// HBase for latency, because the TM recovery log already guarantees
+// durability of committed transactions.
+//
+// Like HBase's, the log is a sequence of *segments*: roll() closes the
+// current segment and opens a fresh one, and truncate_obsolete() deletes
+// closed segments whose records have all been superseded by memstore
+// flushes (their data now lives in store files). After a server failure,
+// the durable prefix of every live segment is split by region (Wal::split)
+// and replayed into freshly assigned regions — HBase's internal recovery.
+// Updates that were only in the in-memory tail are gone; those are
+// precisely the ones the recovery manager replays from the TM log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/dfs/dfs.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+/// One WAL record: the slice of a transaction's write-set that falls in one
+/// region, stamped with the transaction's commit timestamp.
+struct WalRecord {
+  std::string region;  // region name
+  std::uint64_t seq = 0;
+  std::uint64_t txn_id = 0;
+  std::string client_id;
+  Timestamp commit_ts = kNoTimestamp;
+  std::vector<Cell> cells;
+
+  std::string encode() const;
+  static Result<WalRecord> decode(std::string_view data);
+};
+
+struct WalStats {
+  std::uint64_t appended_records = 0;
+  std::uint64_t synced_records = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t rolls = 0;
+  std::uint64_t segments_truncated = 0;
+  std::size_t live_segments = 0;
+};
+
+class Wal {
+ public:
+  /// Creates the first DFS-backed segment at `<base_path>.00000001`.
+  static Result<std::unique_ptr<Wal>> create(Dfs& dfs, std::string base_path);
+
+  /// Append a record to the DFS write pipeline (NOT yet durable). Assigns
+  /// and returns the record's sequence number.
+  Result<std::uint64_t> append(WalRecord record);
+
+  /// Force everything appended so far to be durable (one DFS sync of the
+  /// current segment; closed segments are already durable). This is what
+  /// Algorithm 3's persist step and the synchronous-persistence mode of
+  /// Figure 2(a) call.
+  Status sync();
+
+  /// Close the current segment (sync it) and open a fresh one. HBase rolls
+  /// when a segment exceeds a size threshold so old segments can later be
+  /// reclaimed.
+  Status roll();
+
+  /// Delete closed segments whose records all have seq < `min_needed_seq`
+  /// (i.e. every region's un-flushed edits start at or after it). Returns
+  /// the number of segments removed.
+  std::size_t truncate_obsolete(std::uint64_t min_needed_seq);
+
+  /// Sequence number through which records are durable.
+  std::uint64_t synced_seq() const { return synced_seq_.load(std::memory_order_acquire); }
+  std::uint64_t appended_seq() const { return next_seq_.load(std::memory_order_acquire) - 1; }
+
+  /// Bytes appended to the current (open) segment — the roll trigger.
+  std::uint64_t current_segment_bytes() const;
+
+  /// The writer crashed: the un-synced tail of the open segment is lost.
+  void crash();
+
+  WalStats stats() const;
+  const std::string& base_path() const { return base_path_; }
+
+  /// Read all durable records of a (possibly crashed) server's WAL, across
+  /// all of its live segments, in sequence order.
+  static Result<std::vector<WalRecord>> read_records(Dfs& dfs, const std::string& base_path);
+
+  /// HBase log splitting: group the durable records of a failed server's
+  /// WAL by region, in sequence order.
+  static Result<std::map<std::string, std::vector<WalRecord>>> split(
+      Dfs& dfs, const std::string& base_path);
+
+ private:
+  Wal(Dfs& dfs, std::string base_path) : dfs_(&dfs), base_path_(std::move(base_path)) {}
+
+  static std::string segment_path(const std::string& base, std::uint64_t index);
+  Status open_segment_locked();
+
+  struct Segment {
+    std::string path;
+    std::uint64_t first_seq = 0;  // first seq appended to it (0 if none yet)
+    std::uint64_t last_seq = 0;   // last seq appended to it
+    std::uint64_t bytes = 0;
+  };
+
+  Dfs* dfs_;
+  std::string base_path_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> synced_seq_{0};
+
+  mutable std::mutex mutex_;   // guards segments_ and appends (record framing)
+  std::vector<Segment> segments_;  // back() is the open segment
+  std::uint64_t next_segment_index_ = 1;
+  std::uint64_t rolls_ = 0;
+  std::uint64_t truncated_ = 0;
+
+  std::mutex sync_mutex_;  // serializes syncs; appends proceed concurrently
+  std::atomic<std::uint64_t> sync_count_{0};
+};
+
+}  // namespace tfr

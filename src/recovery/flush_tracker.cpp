@@ -1,0 +1,38 @@
+#include "src/recovery/flush_tracker.h"
+
+#include <cassert>
+
+namespace tfr {
+
+Timestamp FlushTracker::advance(Timestamp current_ts) {
+  Timestamp tf = tf_.load(std::memory_order_acquire);
+  for (;;) {
+    auto committed = fq_.head();
+    auto flushed = fq_flushed_.head();
+    if (!committed || !flushed) break;
+    if (*committed == *flushed) {
+      // Earliest tracked commit has completed its flush: make progress.
+      tf = *committed;
+      fq_.pop();
+      fq_flushed_.pop();
+    } else {
+      // The oldest committed transaction is still flushing; TF(c) must
+      // respect the local commit order, so stop here. (A flushed head
+      // *older* than the committed head is impossible: every flushed
+      // transaction was enqueued to FQ at commit time and FQ's head is the
+      // minimum outstanding.)
+      assert(*flushed > *committed);
+      break;
+    }
+  }
+  if (current_ts != kNoTimestamp && fq_.size() == 0 && current_ts > tf) {
+    // Idle fast-path — see header comment for the ordering argument.
+    tf = current_ts;
+  }
+  // advance() races only with itself via the heartbeat task, which
+  // serializes calls; on_commit_ts/on_flushed touch only the queues.
+  tf_.store(tf, std::memory_order_release);
+  return tf;
+}
+
+}  // namespace tfr

@@ -1,0 +1,90 @@
+// FlushTracker — the client side of the paper's checkpointing scheme
+// (Algorithm 1). Maintains the client's flush-threshold timestamp TF(c),
+// which obeys the local invariant:
+//
+//   every local transaction with commit timestamp T <= TF(c) has been fully
+//   flushed to its participant servers.
+//
+// TF(c) advances monotonically *in local commit order* even when flushes
+// complete out of order, using two synchronized priority queues:
+//   FQ  — transactions that have committed (entered the commit phase)
+//   FQ' — transactions whose write-set has been completely flushed
+// When the heads of both queues carry the same timestamp, that transaction
+// is the oldest committed one and it has been flushed, so TF(c) advances to
+// it and both trackers are dequeued.
+//
+// Idle fast-path: when FQ is empty the client has nothing in flight, so
+// every commit timestamp issued so far (by any client) is either someone
+// else's responsibility or flushed here — TF(c) may jump to the oracle's
+// current timestamp. This keeps an idle client from blocking the global TF.
+// Correctness depends on an ordering guarantee from the transaction
+// manager: on_commit_ts() is invoked inside the oracle's critical section,
+// and the `current_ts` value passed to advance() must have been fetched
+// AFTER that section (see TxnManager's header); advance() therefore never
+// jumps past a transaction whose listener has not yet run.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+class FlushTracker {
+ public:
+  explicit FlushTracker(Timestamp initial_tf) : tf_(initial_tf) {}
+
+  /// "On receiving commit timestamp T" — called by the TM's ts-listener
+  /// inside the ordering critical section.
+  void on_commit_ts(Timestamp ts) { fq_.push(ts); }
+
+  /// "On post-flush of transaction T" — the whole write-set has been
+  /// received by all participant servers.
+  void on_flushed(Timestamp ts) { fq_flushed_.push(ts); }
+
+  /// The heartbeat step: advance TF(c) through matched queue heads.
+  /// `current_ts` is the oracle's current timestamp (fetched after any
+  /// in-flight ts assignments), used for the idle fast-path; pass
+  /// kNoTimestamp to disable it.
+  Timestamp advance(Timestamp current_ts);
+
+  Timestamp tf() const { return tf_.load(std::memory_order_acquire); }
+
+  /// |FQ| — commits whose flush has not yet been matched; the §3.2 alert
+  /// monitors this.
+  std::size_t in_flight() const { return fq_.size(); }
+
+ private:
+  SyncedMinQueue<Timestamp> fq_;          // committed, in commit order
+  SyncedMinQueue<Timestamp> fq_flushed_;  // flushed
+  std::atomic<Timestamp> tf_;
+};
+
+/// Ablation A2 baseline: report the exact set of flushed commit timestamps
+/// in every heartbeat instead of a single threshold. Correct but with a
+/// message size proportional to throughput x heartbeat interval (§3.1
+/// discusses exactly this trade-off).
+class ExactFlushReporter {
+ public:
+  void on_flushed(Timestamp ts) { flushed_.push(ts); }
+
+  /// Drain everything flushed since the last heartbeat; the returned vector
+  /// is what would travel on the wire.
+  std::vector<Timestamp> drain() {
+    std::vector<Timestamp> out;
+    while (auto item = flushed_.pop()) out.push_back(item->first);
+    return out;
+  }
+
+  static std::size_t payload_bytes(const std::vector<Timestamp>& v) {
+    return v.size() * sizeof(Timestamp);
+  }
+
+ private:
+  SyncedMinQueue<Timestamp> flushed_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,47 @@
+#include "src/recovery/recovery_client.h"
+
+namespace tfr {
+
+Status RecoveryClient::replay_for_client(const WriteSet& ws) {
+  TFR_RETURN_IF_ERROR(kv_.flush_writeset(ws, std::nullopt, /*recovery_replay=*/true));
+  std::lock_guard lock(mutex_);
+  ++stats_.client_writesets_replayed;
+  stats_.mutations_replayed += static_cast<std::int64_t>(ws.mutations.size());
+  return Status::ok();
+}
+
+Status RecoveryClient::replay_for_region(const WriteSet& ws, const RegionDescriptor& region,
+                                         Timestamp failed_server_tp) {
+  // Algorithm 4, replay(): keep only the updates that fall in region r.
+  WriteSet filtered;
+  filtered.txn_id = ws.txn_id;
+  filtered.client_id = ws.client_id;
+  filtered.commit_ts = ws.commit_ts;  // original timestamp, never a fresh one
+  filtered.table = ws.table;
+  std::int64_t skipped = 0;
+  for (const auto& m : ws.mutations) {
+    if (ws.table == region.table && region.contains(m.row)) {
+      filtered.mutations.push_back(m);
+    } else {
+      ++skipped;
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    stats_.mutations_skipped += skipped;
+  }
+  if (filtered.mutations.empty()) return Status::ok();
+  TFR_RETURN_IF_ERROR(
+      kv_.flush_writeset(filtered, failed_server_tp, /*recovery_replay=*/true));
+  std::lock_guard lock(mutex_);
+  ++stats_.region_writesets_replayed;
+  stats_.mutations_replayed += static_cast<std::int64_t>(filtered.mutations.size());
+  return Status::ok();
+}
+
+RecoveryClientStats RecoveryClient::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tfr

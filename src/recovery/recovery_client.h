@@ -1,0 +1,48 @@
+// RecoveryClient cR — the recovery manager's local client (§3.1/§3.2). It
+// differs from a regular client in three ways:
+//
+//  1. it replays write-sets using the commit timestamp of the original
+//     transaction instead of requesting a fresh one (replay is therefore
+//     idempotent — same version, same cells);
+//  2. during server recovery it filters each write-set to the updates that
+//     fall within the affected region, skipping the rest (Algorithm 4,
+//     replay);
+//  3. during server recovery it piggybacks the failed server's TP(s) on
+//     every replayed write-set so the receiving server inherits
+//     responsibility for the replayed updates.
+#pragma once
+
+#include "src/kv/kv_client.h"
+
+namespace tfr {
+
+struct RecoveryClientStats {
+  std::int64_t client_writesets_replayed = 0;
+  std::int64_t region_writesets_replayed = 0;
+  std::int64_t mutations_replayed = 0;
+  std::int64_t mutations_skipped = 0;  // outside the recovering region
+};
+
+class RecoveryClient {
+ public:
+  explicit RecoveryClient(Master& master) : kv_(master) {}
+
+  /// Client recovery: replay the full write-set with its original commit
+  /// timestamp to whatever servers currently host its rows.
+  Status replay_for_client(const WriteSet& ws);
+
+  /// Server recovery: replay only the updates of `ws` that fall within
+  /// `region`, piggybacking the failed server's TP(s). No-op if the
+  /// write-set has no update in the region.
+  Status replay_for_region(const WriteSet& ws, const RegionDescriptor& region,
+                           Timestamp failed_server_tp);
+
+  RecoveryClientStats stats() const;
+
+ private:
+  KvClient kv_;
+  mutable std::mutex mutex_;
+  RecoveryClientStats stats_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,310 @@
+#include "src/recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/queue.h"
+
+namespace tfr {
+
+RecoveryManager::RecoveryManager(Coord& coord, TxnManager& tm, Master& master,
+                                 RecoveryManagerConfig config)
+    : coord_(&coord),
+      tm_(&tm),
+      master_(&master),
+      config_(config),
+      recovery_client_(master),
+      poller_([this] { poll_tick(); }, config.poll_interval) {}
+
+RecoveryManager::~RecoveryManager() { stop(); }
+
+void RecoveryManager::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (started_) return;
+    started_ = true;
+    publish_locked();  // make the TF/TP znodes exist from the start
+  }
+  client_listener_id_ = coord_->add_listener(
+      "clients",
+      [this](const SessionInfo& info, bool expired) { on_client_session(info, expired); });
+  server_listener_id_ = coord_->add_listener(
+      "servers",
+      [this](const SessionInfo& info, bool expired) { on_server_session(info, expired); });
+  master_->set_hooks(this);
+  worker_ = std::thread([this] {
+    while (auto task = work_.pop()) (*task)();
+  });
+  poller_.start();
+  TFR_LOG(INFO, "rm") << "recovery manager started";
+}
+
+void RecoveryManager::stop() {
+  poller_.stop();
+  // Unhook from the coordination service so no session event can reach a
+  // dying instance (the restart path replaces the RM object).
+  if (client_listener_id_ != 0) coord_->remove_listener("clients", client_listener_id_);
+  if (server_listener_id_ != 0) coord_->remove_listener("servers", server_listener_id_);
+  client_listener_id_ = server_listener_id_ = 0;
+  work_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void RecoveryManager::recover_state() {
+  std::lock_guard lock(mutex_);
+  // §3.3: the thresholds are recoverable from the coordination service; the
+  // registries repopulate from the live sessions' piggybacked payloads.
+  if (auto tf = coord_->get(kTfPath)) published_tf_ = std::max(published_tf_, *tf);
+  if (auto tp = coord_->get(kTpPath)) published_tp_ = std::max(published_tp_, *tp);
+  client_tf_.clear();
+  server_tp_.clear();
+  for (const auto& s : coord_->live_sessions("clients")) client_tf_[s.name] = s.payload;
+  for (const auto& s : coord_->live_sessions("servers")) server_tp_[s.name] = s.payload;
+  TFR_LOG(INFO, "rm") << "state recovered: TF=" << published_tf_ << " TP=" << published_tp_
+                      << " clients=" << client_tf_.size() << " servers=" << server_tp_.size();
+}
+
+// --- threshold maintenance ---------------------------------------------------
+
+Timestamp RecoveryManager::compute_tf_locked() const {
+  // TF = min over all clients' reported thresholds, with in-flight client
+  // recoveries holding the floor at TFr(c).
+  bool any = false;
+  Timestamp tf = kMaxTimestamp;
+  for (const auto& [c, t] : client_tf_) {
+    tf = std::min(tf, t);
+    any = true;
+  }
+  for (const auto& [c, t] : client_recovery_floor_) {
+    tf = std::min(tf, t);
+    any = true;
+  }
+  if (!any) {
+    // No clients: every commit ever issued came from a client that either
+    // unregistered cleanly (all flushed) or was recovered (replayed), so
+    // the whole timestamp range is flushed.
+    tf = tm_->current_ts();
+  }
+  return std::max(published_tf_, tf);
+}
+
+Timestamp RecoveryManager::compute_tp_locked() const {
+  bool any = false;
+  Timestamp tp = kMaxTimestamp;
+  for (const auto& [s, t] : server_tp_) {
+    tp = std::min(tp, t);
+    any = true;
+  }
+  for (const auto& [s, t] : server_recovery_floor_) {
+    tp = std::min(tp, t);
+    any = true;
+  }
+  if (!any) tp = published_tf_;  // no servers and nothing pending: all persisted
+  tp = std::min(tp, published_tf_);  // the global invariant TP <= TF
+  return std::max(published_tp_, tp);
+}
+
+void RecoveryManager::publish_locked() {
+  published_tf_ = compute_tf_locked();
+  published_tp_ = compute_tp_locked();
+  coord_->put(kTfPath, published_tf_);
+  coord_->put(kTpPath, published_tp_);
+  if (config_.checkpoint_log && !config_.ignore_thresholds) tm_->checkpoint(published_tp_);
+}
+
+void RecoveryManager::poll_tick() {
+  std::lock_guard lock(mutex_);
+  // Ingest the latest piggybacked thresholds. Client TF(c) is monotonic;
+  // server TP(s) can be *lowered* by inheritance, so take it verbatim.
+  for (const auto& s : coord_->live_sessions("clients")) {
+    auto it = client_tf_.find(s.name);
+    if (it == client_tf_.end()) {
+      client_tf_[s.name] = s.payload;  // registration (Algorithm 2)
+    } else {
+      it->second = std::max(it->second, s.payload);
+    }
+  }
+  for (const auto& s : coord_->live_sessions("servers")) {
+    server_tp_[s.name] = s.payload;
+  }
+  publish_locked();
+  ++stats_.threshold_refreshes;
+}
+
+Timestamp RecoveryManager::global_tf() const {
+  std::lock_guard lock(mutex_);
+  return published_tf_;
+}
+
+Timestamp RecoveryManager::global_tp() const {
+  std::lock_guard lock(mutex_);
+  return published_tp_;
+}
+
+// --- client failure handling (Algorithm 2) ------------------------------------
+
+void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
+  if (!expired) {
+    // Clean unregister: drop the client from TF maintenance (§3.1).
+    std::lock_guard lock(mutex_);
+    client_tf_.erase(info.name);
+    publish_locked();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    client_tf_.erase(info.name);
+    // Hold TF at TFr(c) until the replay completes: servers must not be
+    // told that these transactions are "fully flushed" while the recovery
+    // client is still re-flushing them.
+    client_recovery_floor_[info.name] = info.payload;
+    ++stats_.client_recoveries;
+  }
+  TFR_LOG(INFO, "rm") << "client " << info.name << " FAILED, TFr=" << info.payload
+                      << "; replaying its committed write-sets";
+  const std::string client_id = info.name;
+  const Timestamp tfr = info.payload;
+  work_.push([this, client_id, tfr] { recover_client(client_id, tfr); });
+}
+
+void RecoveryManager::recover_client(const std::string& client_id, Timestamp tfr) {
+  // fetchlogs(c, TFr(c)): every write-set this client committed after its
+  // last reported flush threshold. Some may in fact be flushed already —
+  // replaying them is idempotent.
+  const auto writesets =
+      tm_->log().fetch_client_after(client_id, config_.ignore_thresholds ? kNoTimestamp : tfr);
+  for (const auto& ws : writesets) {
+    Status s = recovery_client_.replay_for_client(ws);
+    if (!s.is_ok()) {
+      TFR_LOG(ERROR, "rm") << "client replay of txn " << ws.commit_ts << " failed: " << s;
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    stats_.writesets_replayed_client += static_cast<std::int64_t>(writesets.size());
+    client_recovery_floor_.erase(client_id);
+    publish_locked();
+  }
+  idle_cv_.notify_all();
+  // The dead client's open (never-committed) transactions count as aborted;
+  // reap them so their snapshots stop pinning the TM's conflict table.
+  tm_->abandon_client(client_id);
+  TFR_LOG(INFO, "rm") << "client " << client_id << " recovered (" << writesets.size()
+                      << " write-sets replayed)";
+}
+
+// --- server failure handling (Algorithm 4) -------------------------------------
+
+void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
+  if (!expired) {
+    // Clean shutdown: the server flushed and synced everything it had, and
+    // its final heartbeat reported an up-to-date TP(s).
+    std::lock_guard lock(mutex_);
+    server_tp_.erase(info.name);
+    publish_locked();
+    return;
+  }
+  // Crash: record the final payload so on_server_failure (called by the
+  // master, possibly before our next poll) sees the freshest TPr(s). The
+  // registry entry stays until then, conservatively pinning the global TP.
+  std::lock_guard lock(mutex_);
+  auto it = server_tp_.find(info.name);
+  if (it == server_tp_.end()) {
+    server_tp_[info.name] = info.payload;
+  } else {
+    it->second = std::min(it->second, info.payload);
+  }
+}
+
+void RecoveryManager::on_server_failure(const std::string& server_id,
+                                        const std::vector<std::string>& regions) {
+  std::lock_guard lock(mutex_);
+  Timestamp tpr = published_tp_;  // conservative fallback
+  auto it = server_tp_.find(server_id);
+  if (it != server_tp_.end()) {
+    tpr = it->second;
+    server_tp_.erase(it);
+  }
+  server_recovery_floor_[server_id] = tpr;
+  for (const auto& r : regions) {
+    pending_regions_[r] = PendingRegion{server_id, tpr};
+    pending_by_server_[server_id].insert(r);
+  }
+  if (regions.empty()) server_recovery_floor_.erase(server_id);
+  ++stats_.server_recoveries;
+  publish_locked();
+  TFR_LOG(INFO, "rm") << "server " << server_id << " FAILED, TPr=" << tpr << ", "
+                      << regions.size() << " regions to recover";
+}
+
+void RecoveryManager::on_region_recovered(const std::string& region_name,
+                                          const std::string& server_id) {
+  PendingRegion pending;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pending_regions_.find(region_name);
+    if (it == pending_regions_.end()) {
+      // Not part of a failure recovery (e.g. a clean-shutdown reassignment):
+      // nothing transactional to replay, let the region go online.
+      return;
+    }
+    pending = it->second;
+  }
+
+  auto loc = master_->region_by_name(region_name);
+  if (!loc.is_ok()) {
+    TFR_LOG(ERROR, "rm") << "gate for unknown region " << region_name << ": " << loc.status();
+    return;
+  }
+
+  // Replay every write-set committed after TPr(s) whose updates fall in
+  // this region, with TPr(s) piggybacked (inheritance, §3.2).
+  const auto writesets =
+      tm_->log().fetch_after(config_.ignore_thresholds ? kNoTimestamp : pending.tpr);
+  std::int64_t replayed = 0;
+  for (const auto& ws : writesets) {
+    Status s = recovery_client_.replay_for_region(ws, loc.value().descriptor, pending.tpr);
+    if (!s.is_ok()) {
+      TFR_LOG(ERROR, "rm") << "region replay of txn " << ws.commit_ts << " failed: " << s;
+    } else {
+      ++replayed;
+    }
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    stats_.writesets_replayed_server += replayed;
+    ++stats_.regions_recovered;
+    pending_regions_.erase(region_name);
+    auto sit = pending_by_server_.find(pending.failed_server);
+    if (sit != pending_by_server_.end()) {
+      sit->second.erase(region_name);
+      if (sit->second.empty()) {
+        // Last region of this failure: release the TP floor; the replayed
+        // write-sets are now the hosting servers' responsibility (they
+        // inherited TPr(s) via the piggyback).
+        pending_by_server_.erase(sit);
+        server_recovery_floor_.erase(pending.failed_server);
+      }
+    }
+    publish_locked();
+  }
+  idle_cv_.notify_all();
+  TFR_LOG(INFO, "rm") << "region " << region_name << " transactionally recovered on "
+                      << server_id << " (" << writesets.size() << " candidate write-sets)";
+}
+
+RecoveryManagerStats RecoveryManager::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void RecoveryManager::wait_for_idle() const {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return client_recovery_floor_.empty() && server_recovery_floor_.empty() &&
+           pending_regions_.empty();
+  });
+}
+
+}  // namespace tfr

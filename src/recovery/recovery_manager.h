@@ -1,0 +1,166 @@
+// RecoveryManager — the paper's failure-recovery middleware (§3), a service
+// associated with the transaction manager that coordinates failure detection
+// and recovery across clients and servers (Algorithms 2 and 4).
+//
+// Normal processing:
+//   * clients and servers heartbeat through the coordination service,
+//     piggybacking their threshold timestamps TF(c) / TP(s);
+//   * the RM polls those payloads, maintains the per-component registries,
+//     and derives the global thresholds
+//        TF = min_c TF(c)   (all txns <= TF fully flushed)
+//        TP = min_s TP(s)   (all txns <= TP flushed AND persisted), TP <= TF
+//   * TF and TP are published to the coordination service — TF feeds the
+//     servers' persist step (Algorithm 3) and the clients' stable read
+//     snapshots; TP is the global checkpoint at which the TM recovery log is
+//     truncated.
+//
+// Client failure (session expiry): fetch from the TM log every write-set
+// committed by that client after its last reported TF(c) and replay it via
+// the recovery client. Until the replay completes, TF is floored at TFr(c)
+// so no server can claim persistence of a transaction that is still being
+// re-flushed.
+//
+// Server failure (master hook): after the store's internal per-region
+// recovery, and while the region is still gated, fetch every write-set
+// committed after the failed server's TPr(s), filter it to the region, and
+// replay it with TPr(s) piggybacked. TP is floored at TPr(s) until all of
+// the server's regions are recovered, so the log cannot be truncated under
+// a pending replay.
+//
+// RM failure: all state lives in heartbeats and the published thresholds;
+// recover_state() rebuilds the registries from the coordination service
+// (§3.3). Transaction processing continues while the RM is down.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <thread>
+
+#include "src/common/queue.h"
+#include "src/common/threading.h"
+#include "src/coord/coord.h"
+#include "src/kv/master.h"
+#include "src/recovery/recovery_client.h"
+#include "src/txn/txn_manager.h"
+
+namespace tfr {
+
+struct RecoveryManagerConfig {
+  /// How often the RM ingests heartbeat payloads and refreshes TF/TP.
+  Micros poll_interval = millis(100);
+
+  /// Truncate the TM log at TP on every refresh when true.
+  bool checkpoint_log = true;
+
+  /// Ablation baseline: ignore the TF(c)/TP(s) thresholds during recovery
+  /// and replay the whole recovery log (correct — replay is idempotent —
+  /// but "extremely inefficient", §3). Implies checkpoint_log = false.
+  bool ignore_thresholds = false;
+};
+
+struct RecoveryManagerStats {
+  std::int64_t client_recoveries = 0;
+  std::int64_t server_recoveries = 0;
+  std::int64_t regions_recovered = 0;
+  std::int64_t writesets_replayed_client = 0;
+  std::int64_t writesets_replayed_server = 0;
+  std::int64_t threshold_refreshes = 0;
+};
+
+/// Coordination-service paths where the global thresholds are published.
+inline constexpr const char* kTfPath = "/tfr/TF";
+inline constexpr const char* kTpPath = "/tfr/TP";
+
+class RecoveryManager : public MasterHooks {
+ public:
+  RecoveryManager(Coord& coord, TxnManager& tm, Master& master,
+                  RecoveryManagerConfig config = {});
+  ~RecoveryManager() override;
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Subscribe to session events, install the master hooks, start polling.
+  void start();
+  void stop();
+
+  /// Rebuild registries after an RM restart (§3.3): adopt the published
+  /// thresholds and the currently-live sessions.
+  void recover_state();
+
+  // --- MasterHooks (server failure path, §3.2) ------------------------------
+
+  void on_server_failure(const std::string& server_id,
+                         const std::vector<std::string>& regions) override;
+
+  /// Region gate, called by a region server after internal recovery and
+  /// before the region goes online. Blocks for the transactional replay.
+  void on_region_recovered(const std::string& region_name, const std::string& server_id);
+
+  // --- thresholds ------------------------------------------------------------
+
+  Timestamp global_tf() const;
+  Timestamp global_tp() const;
+
+  /// Force one poll/refresh now (tests use this instead of sleeping).
+  void refresh_now() { poll_tick(); }
+
+  RecoveryManagerStats stats() const;
+  const RecoveryClientStats recovery_client_stats() const { return recovery_client_.stats(); }
+
+  /// Block until no client/server recovery is in flight.
+  void wait_for_idle() const;
+
+ private:
+  void poll_tick();
+  void on_client_session(const SessionInfo& info, bool expired);
+  void on_server_session(const SessionInfo& info, bool expired);
+  void recover_client(const std::string& client_id, Timestamp tfr);
+  void publish_locked();
+  Timestamp compute_tf_locked() const;
+  Timestamp compute_tp_locked() const;
+
+  Coord* coord_;
+  TxnManager* tm_;
+  Master* master_;
+  RecoveryManagerConfig config_;
+  RecoveryClient recovery_client_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable idle_cv_;
+  std::map<std::string, Timestamp> client_tf_;   // registry C
+  std::map<std::string, Timestamp> server_tp_;   // registry S
+  Timestamp published_tf_ = kNoTimestamp;
+  Timestamp published_tp_ = kNoTimestamp;
+
+  /// Floors held during in-flight recoveries (see header comment).
+  std::map<std::string, Timestamp> client_recovery_floor_;  // client -> TFr(c)
+  std::map<std::string, Timestamp> server_recovery_floor_;  // server -> TPr(s)
+
+  struct PendingRegion {
+    std::string failed_server;
+    Timestamp tpr = kNoTimestamp;
+  };
+  std::map<std::string, PendingRegion> pending_regions_;
+  std::map<std::string, std::set<std::string>> pending_by_server_;
+
+  RecoveryManagerStats stats_;
+  PeriodicTask poller_;
+  bool started_ = false;
+  int client_listener_id_ = 0;
+  int server_listener_id_ = 0;
+
+  /// Client recoveries run here, off the coordination service's expiry
+  /// thread: a replay can block on an offline region, and the expiry thread
+  /// must stay free to detect the server failure that caused it.
+  BlockingQueue<std::function<void()>> work_;
+  std::thread worker_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,166 @@
+#include "src/ycsb/driver.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace tfr {
+
+YcsbDriver::YcsbDriver(Testbed& testbed, WorkloadConfig workload, DriverConfig config)
+    : testbed_(&testbed),
+      workload_(workload),
+      config_(config),
+      state_(workload.num_rows),
+      series_(config.series_interval,
+              static_cast<std::size_t>(config.duration / config.series_interval) + 8) {}
+
+void YcsbDriver::schedule(Micros at, std::string label, std::function<void()> action) {
+  events_.push_back(DriverEvent{at, std::move(action), std::move(label)});
+}
+
+int YcsbDriver::run_txn(TxnClient& client, KeyChooser& chooser, Rng& rng) {
+  Transaction txn = client.begin(workload_.table);
+  const OpMix& mix = workload_.mix;
+  for (int op = 0; op < workload_.ops_per_txn; ++op) {
+    const double dice = rng.next_double();
+    if (dice < mix.read) {
+      const std::string row = Testbed::row_key(chooser.next(rng));
+      auto value = txn.get(row, "field0");
+      if (!value.is_ok()) {
+        txn.abort();
+        return -1;
+      }
+    } else if (dice < mix.read + mix.update) {
+      const std::string row = Testbed::row_key(chooser.next(rng));
+      txn.put(row, "field0", random_ascii(rng, workload_.value_size));
+    } else if (dice < mix.read + mix.update + mix.insert) {
+      const std::string row = Testbed::row_key(state_.allocate_insert_key());
+      txn.put(row, "field0", random_ascii(rng, workload_.value_size));
+    } else if (dice < mix.read + mix.update + mix.insert + mix.scan) {
+      const std::string start = Testbed::row_key(chooser.next(rng));
+      auto cells = txn.scan(start, "", workload_.scan_length);
+      if (!cells.is_ok()) {
+        txn.abort();
+        return -1;
+      }
+    } else {
+      // read-modify-write on one key (YCSB workload F).
+      const std::string row = Testbed::row_key(chooser.next(rng));
+      auto value = txn.get(row, "field0");
+      if (!value.is_ok()) {
+        txn.abort();
+        return -1;
+      }
+      txn.put(row, "field0", random_ascii(rng, workload_.value_size));
+    }
+  }
+  auto committed = txn.commit();
+  if (committed.is_ok()) return 1;
+  return committed.status().is_aborted() ? 0 : -1;
+}
+
+void YcsbDriver::worker(int index, Histogram& latencies, std::atomic<std::uint64_t>& committed,
+                        std::atomic<std::uint64_t>& aborted,
+                        std::atomic<std::uint64_t>& errors) {
+  Rng rng(config_.seed * 1000003 + static_cast<std::uint64_t>(index));
+  KeyChooser chooser(workload_, state_);
+  TxnClient& client = testbed_->client(index % testbed_->num_clients());
+  const Micros pace =
+      config_.target_tps > 0 ? static_cast<Micros>(1e6 / config_.target_tps) : 0;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    Micros begin = 0;
+    if (pace > 0) {
+      // Open-loop pacing: claim the next global start slot. Latency is
+      // measured from the *scheduled* slot, so queueing delay when the
+      // system falls behind the offered load is charged to response time
+      // (avoids coordinated omission).
+      const Micros slot = next_slot_.fetch_add(pace, std::memory_order_relaxed);
+      const Micros now = now_micros();
+      if (slot > now) {
+        sleep_micros(slot - now);
+        if (stop_.load(std::memory_order_acquire)) break;
+      }
+      begin = slot;
+    } else {
+      begin = now_micros();
+    }
+    const int outcome = run_txn(client, chooser, rng);
+    const Micros latency = now_micros() - begin;
+    switch (outcome) {
+      case 1:
+        committed.fetch_add(1, std::memory_order_relaxed);
+        latencies.record(latency);
+        series_.record(latency);
+        break;
+      case 0:
+        aborted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        errors.fetch_add(1, std::memory_order_relaxed);
+        series_.record_error();
+        break;
+    }
+  }
+}
+
+DriverReport YcsbDriver::run() {
+  Histogram latencies;
+  std::atomic<std::uint64_t> committed{0}, aborted{0}, errors{0};
+
+  series_.start();
+  next_slot_.store(now_micros(), std::memory_order_relaxed);
+  const Micros t0 = now_micros();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    threads.emplace_back(
+        [this, i, &latencies, &committed, &aborted, &errors] {
+          worker(i, latencies, committed, aborted, errors);
+        });
+  }
+
+  // Event loop: fire scheduled actions at their offsets, then stop at the
+  // configured duration.
+  std::vector<DriverEvent*> pending;
+  for (auto& e : events_) pending.push_back(&e);
+  std::sort(pending.begin(), pending.end(),
+            [](const DriverEvent* a, const DriverEvent* b) { return a->at < b->at; });
+  std::size_t next_event = 0;
+  for (;;) {
+    const Micros elapsed = now_micros() - t0;
+    if (next_event < pending.size() && elapsed >= pending[next_event]->at) {
+      TFR_LOG(INFO, "driver") << "event @" << elapsed / 1000 << "ms: "
+                              << pending[next_event]->label;
+      pending[next_event]->action();
+      ++next_event;
+      continue;
+    }
+    if (elapsed >= config_.duration) break;
+    Micros next_wake = config_.duration - elapsed;
+    if (next_event < pending.size()) {
+      next_wake = std::min(next_wake, pending[next_event]->at - elapsed);
+    }
+    sleep_micros(std::min<Micros>(next_wake, millis(20)));
+  }
+
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double wall = static_cast<double>(now_micros() - t0) / 1e6;
+
+  DriverReport report;
+  report.wall_seconds = wall;
+  report.committed = committed.load();
+  report.aborted = aborted.load();
+  report.errors = errors.load();
+  report.throughput_tps = static_cast<double>(report.committed) / wall;
+  report.mean_latency_ms = latencies.mean() / 1000.0;
+  report.p50_latency_ms = static_cast<double>(latencies.percentile(50)) / 1000.0;
+  report.p99_latency_ms = static_cast<double>(latencies.percentile(99)) / 1000.0;
+  report.max_latency_ms = static_cast<double>(latencies.max()) / 1000.0;
+  report.series = series_.snapshot();
+  return report;
+}
+
+}  // namespace tfr

@@ -1,0 +1,82 @@
+// Multi-threaded closed/open-loop benchmark driver over a Testbed. Each
+// worker thread repeatedly executes one YCSB transaction (begin, N random
+// read/update ops, commit) against a transactional client, records the
+// end-to-end response time, and feeds the per-second time series used to
+// draw the paper's Figure 3.
+//
+// Throttling: with target_tps > 0 the driver paces transaction *starts* at
+// the target rate (open loop): each thread atomically claims the next start
+// slot and sleeps until it. When the system cannot keep up, response times
+// grow — the saturation behaviour of Figure 2(a).
+//
+// Fault events: callers can schedule arbitrary actions (e.g. crash a
+// server) at an offset from the start of the measurement.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/testbed/testbed.h"
+#include "src/ycsb/workload.h"
+
+namespace tfr {
+
+struct DriverConfig {
+  int threads = 50;
+  double target_tps = 0;  ///< 0 = closed loop (as fast as possible)
+  Micros duration = seconds(30);
+  Micros series_interval = seconds(1);
+  std::uint64_t seed = 42;
+};
+
+struct DriverEvent {
+  Micros at;                    ///< offset from measurement start
+  std::function<void()> action;
+  std::string label;
+};
+
+struct DriverReport {
+  double wall_seconds = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t errors = 0;
+  double throughput_tps = 0;     ///< committed / wall
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  double max_latency_ms = 0;
+  std::vector<SeriesPoint> series;
+};
+
+class YcsbDriver {
+ public:
+  YcsbDriver(Testbed& testbed, WorkloadConfig workload, DriverConfig config);
+
+  /// Schedule an action at `at` after measurement start (call before run()).
+  void schedule(Micros at, std::string label, std::function<void()> action);
+
+  /// Run the workload to completion and report.
+  DriverReport run();
+
+ private:
+  void worker(int index, Histogram& latencies, std::atomic<std::uint64_t>& committed,
+              std::atomic<std::uint64_t>& aborted, std::atomic<std::uint64_t>& errors);
+
+  /// One transaction; returns: 1 committed, 0 aborted, -1 error.
+  int run_txn(TxnClient& client, KeyChooser& chooser, Rng& rng);
+
+  Testbed* testbed_;
+  WorkloadConfig workload_;
+  DriverConfig config_;
+  WorkloadState state_;
+  std::vector<DriverEvent> events_;
+
+  TimeSeriesRecorder series_;
+  std::atomic<Micros> next_slot_{0};  // open-loop pacing cursor (absolute us)
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tfr

@@ -1,0 +1,63 @@
+#include "src/ycsb/workload.h"
+
+namespace tfr {
+
+WorkloadConfig ycsb_core_workload(char which, std::uint64_t num_rows) {
+  WorkloadConfig cfg;
+  cfg.num_rows = num_rows;
+  cfg.ops_per_txn = 10;
+  cfg.distribution = KeyDistribution::kZipfian;
+  switch (which) {
+    case 'a':  // update heavy
+      cfg.mix = OpMix{0.5, 0.5, 0, 0, 0};
+      break;
+    case 'b':  // read mostly
+      cfg.mix = OpMix{0.95, 0.05, 0, 0, 0};
+      break;
+    case 'c':  // read only
+      cfg.mix = OpMix{1.0, 0, 0, 0, 0};
+      break;
+    case 'd':  // read latest
+      cfg.mix = OpMix{0.95, 0, 0.05, 0, 0};
+      cfg.distribution = KeyDistribution::kLatest;
+      break;
+    case 'e':  // short ranges
+      cfg.mix = OpMix{0, 0, 0.05, 0.95, 0};
+      cfg.ops_per_txn = 2;  // scans are heavy; keep transactions short
+      break;
+    case 'f':  // read-modify-write
+      cfg.mix = OpMix{0.5, 0, 0, 0, 0.5};
+      break;
+    default:
+      break;  // the paper's default mix
+  }
+  return cfg;
+}
+
+KeyChooser::KeyChooser(const WorkloadConfig& cfg, const WorkloadState& state)
+    : distribution_(cfg.distribution), state_(&state) {
+  switch (cfg.distribution) {
+    case KeyDistribution::kZipfian:
+      base_ = std::make_unique<ScrambledZipfianChooser>(cfg.num_rows);
+      break;
+    case KeyDistribution::kLatest:
+      // Offsets from the insert frontier, zipfian-skewed toward 0 (= the
+      // most recent row), as in YCSB's SkewedLatestGenerator.
+      recency_ = std::make_unique<ZipfianChooser>(cfg.num_rows);
+      break;
+    case KeyDistribution::kUniform:
+      base_ = std::make_unique<UniformChooser>(cfg.num_rows);
+      break;
+  }
+}
+
+std::uint64_t KeyChooser::next(Rng& rng) {
+  if (distribution_ == KeyDistribution::kLatest) {
+    const std::uint64_t frontier = state_->frontier();
+    const std::uint64_t back = recency_->next(rng);
+    return back >= frontier ? 0 : frontier - 1 - back;
+  }
+  return base_->next(rng);
+}
+
+}  // namespace tfr

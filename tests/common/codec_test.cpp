@@ -1,0 +1,84 @@
+#include "src/common/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+TEST(CodecTest, RoundTripAllTypes) {
+  std::string buf;
+  Encoder enc(&buf);
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_i64(-42);
+  enc.put_string("hello world");
+  enc.put_string("");  // empty string is legal
+
+  Decoder dec(buf);
+  std::uint8_t u8;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int64_t i64;
+  std::string s1, s2;
+  ASSERT_TRUE(dec.get_u8(&u8).is_ok());
+  ASSERT_TRUE(dec.get_u32(&u32).is_ok());
+  ASSERT_TRUE(dec.get_u64(&u64).is_ok());
+  ASSERT_TRUE(dec.get_i64(&i64).is_ok());
+  ASSERT_TRUE(dec.get_string(&s1).is_ok());
+  ASSERT_TRUE(dec.get_string(&s2).is_ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(s1, "hello world");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, BinaryStringsSurvive) {
+  std::string payload("\x00\x01\xff\x7f bytes", 8);
+  std::string buf;
+  Encoder enc(&buf);
+  enc.put_string(payload);
+  Decoder dec(buf);
+  std::string out;
+  ASSERT_TRUE(dec.get_string(&out).is_ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(CodecTest, TruncatedIntegerIsCorruption) {
+  std::string buf = "\x01\x02";  // 2 bytes, not enough for u32
+  Decoder dec(buf);
+  std::uint32_t v;
+  EXPECT_EQ(dec.get_u32(&v).code(), Code::kCorruption);
+}
+
+TEST(CodecTest, TruncatedStringBodyIsCorruption) {
+  std::string buf;
+  Encoder enc(&buf);
+  enc.put_u32(100);  // claims 100 bytes follow
+  buf += "short";
+  Decoder dec(buf);
+  std::string out;
+  EXPECT_EQ(dec.get_string(&out).code(), Code::kCorruption);
+}
+
+TEST(CodecTest, PositionAndRemainingTrackProgress) {
+  std::string buf;
+  Encoder enc(&buf);
+  enc.put_u64(1);
+  enc.put_u64(2);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.remaining(), 16u);
+  std::uint64_t v;
+  ASSERT_TRUE(dec.get_u64(&v).is_ok());
+  EXPECT_EQ(dec.position(), 8u);
+  EXPECT_EQ(dec.remaining(), 8u);
+  EXPECT_FALSE(dec.done());
+  ASSERT_TRUE(dec.get_u64(&v).is_ok());
+  EXPECT_TRUE(dec.done());
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,30 @@
+#include "src/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC-32C test vectors.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  const auto original = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); i += 5) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(crc32c(flipped), original) << "flip at " << i;
+  }
+}
+
+TEST(Crc32cTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(crc32c("payload"), crc32c("payload"));
+}
+
+}  // namespace
+}  // namespace tfr

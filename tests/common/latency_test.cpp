@@ -1,0 +1,66 @@
+#include "src/common/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+TEST(LatencyModelTest, ZeroModelIsFree) {
+  LatencyModel model;
+  EXPECT_TRUE(model.is_zero());
+  EXPECT_EQ(model.sample(), 0);
+  const Micros start = now_micros();
+  model.charge();
+  EXPECT_LT(now_micros() - start, millis(2));
+}
+
+TEST(LatencyModelTest, FixedBaseWithoutJitterIsExact) {
+  LatencyModel model(1500, 0);
+  EXPECT_FALSE(model.is_zero());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(), 1500);
+}
+
+TEST(LatencyModelTest, JitterAddsNonNegativeNoise) {
+  LatencyModel model(1000, 500);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Micros s = model.sample();
+    ASSERT_GE(s, 1000);
+    sum += static_cast<double>(s);
+  }
+  // Exponential jitter with mean 500 on top of the base.
+  EXPECT_NEAR(sum / 5000.0, 1500.0, 100.0);
+}
+
+TEST(LatencyModelTest, ChargeSleepsRoughlyTheSample) {
+  LatencyModel model(millis(5), 0);
+  const Micros start = now_micros();
+  model.charge();
+  EXPECT_GE(now_micros() - start, millis(4));
+}
+
+TEST(LatencyModelTest, SetReconfiguresAtRuntime) {
+  LatencyModel model(100, 0);
+  model.set(0, 0);
+  EXPECT_TRUE(model.is_zero());
+  model.set(250, 0);
+  EXPECT_EQ(model.sample(), 250);
+}
+
+TEST(LatencyModelTest, ConcurrentSamplingIsSafe) {
+  LatencyModel model(10, 20);
+  std::vector<std::thread> threads;
+  std::atomic<bool> bad{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        if (model.sample() < 10) bad = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,120 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tfr {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  // Percentile error is bounded by bucket width (~5%).
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 1000.0, 80.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  const auto p50 = h.percentile(50);
+  const auto p90 = h.percentile(90);
+  const auto p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 800.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.record(100 + i % 50);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 40000u);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1500);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, BucketsByInterval) {
+  TimeSeriesRecorder rec(millis(20), 64);
+  rec.start();
+  rec.record(millis(3));
+  rec.record(millis(7));
+  sleep_millis(25);
+  rec.record(millis(11));
+  auto series = rec.snapshot();
+  ASSERT_GE(series.size(), 2u);
+  // First bucket holds two samples at 50/s each over 20ms -> 100 tps.
+  EXPECT_NEAR(series[0].throughput, 100.0, 1.0);
+  EXPECT_NEAR(series[0].mean_latency_ms, 5.0, 0.5);
+}
+
+TEST(TimeSeriesTest, ErrorsAreCounted) {
+  TimeSeriesRecorder rec(millis(50), 8);
+  rec.start();
+  rec.record_error();
+  rec.record_error();
+  auto series = rec.snapshot();
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series[0].errors, 2u);
+}
+
+TEST(TimeSeriesTest, ElapsedGrows) {
+  TimeSeriesRecorder rec(millis(10), 8);
+  rec.start();
+  sleep_millis(5);
+  EXPECT_GT(rec.elapsed_seconds(), 0.0);
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.get(), 6);
+  c.reset();
+  EXPECT_EQ(c.get(), 0);
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,149 @@
+#include "src/common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/random.h"
+
+namespace tfr {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    sleep_millis(10);
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop().value(), 42);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueueTest, PushAfterCloseIsIgnored) {
+  BlockingQueue<int> q;
+  q.close();
+  q.push(1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const Micros start = now_micros();
+  EXPECT_FALSE(q.pop_for(millis(10)).has_value());
+  EXPECT_GE(now_micros() - start, millis(5));
+}
+
+TEST(BlockingQueueTest, DrainTakesEverything) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  auto all = q.drain();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueTest, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  int received = 0;
+  std::thread consumer([&] {
+    while (received < 4 * kPerProducer) {
+      if (q.pop()) ++received;
+    }
+  });
+  for (auto& p : producers) p.join();
+  consumer.join();
+  EXPECT_EQ(received, 4 * kPerProducer);
+}
+
+TEST(SyncedMinQueueTest, HeadIsMinimumRegardlessOfInsertOrder) {
+  SyncedMinQueue<int> q;
+  q.push(5);
+  q.push(1);
+  q.push(3);
+  EXPECT_EQ(q.head().value(), 1);
+  EXPECT_EQ(q.pop()->first, 1);
+  EXPECT_EQ(q.pop()->first, 3);
+  EXPECT_EQ(q.pop()->first, 5);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SyncedMinQueueTest, EmptyHeadIsNullopt) {
+  SyncedMinQueue<int> q;
+  EXPECT_FALSE(q.head().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SyncedMinQueueTest, PayloadTravelsWithKey) {
+  SyncedMinQueue<int, std::string> q;
+  q.push(2, "two");
+  q.push(1, "one");
+  auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->second, "one");
+}
+
+TEST(SyncedMinQueueTest, PopThroughTakesPrefixOnly) {
+  SyncedMinQueue<int> q;
+  for (int v : {7, 2, 9, 4, 1}) q.push(v);
+  auto taken = q.pop_through(4);
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken[0].first, 1);
+  EXPECT_EQ(taken[1].first, 2);
+  EXPECT_EQ(taken[2].first, 4);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head().value(), 7);
+}
+
+TEST(SyncedMinQueueTest, DuplicateKeysAllowed) {
+  SyncedMinQueue<int> q;
+  q.push(3);
+  q.push(3);
+  EXPECT_EQ(q.pop_through(3).size(), 2u);
+}
+
+// Property: for random interleavings of pushes, pop order is always sorted.
+class SyncedMinQueuePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyncedMinQueuePropertyTest, PopsAreAlwaysSorted) {
+  Rng rng(GetParam());
+  SyncedMinQueue<std::uint64_t> q;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) q.push(rng.next_below(1000));
+  std::uint64_t prev = 0;
+  for (int i = 0; i < n; ++i) {
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_GE(item->first, prev);
+    prev = item->first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncedMinQueuePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace tfr

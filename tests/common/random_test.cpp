@@ -1,0 +1,133 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tfr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / 100000.0, 5.0, 0.2);
+}
+
+TEST(UniformChooserTest, CoversRangeUniformly) {
+  Rng rng(17);
+  UniformChooser chooser(10);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser.next(rng)];
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [k, n] : counts) EXPECT_NEAR(n, 10000, 700);
+}
+
+TEST(ZipfianChooserTest, IsSkewedTowardLowIndices) {
+  Rng rng(19);
+  ZipfianChooser chooser(10000, 0.99);
+  int in_top_100 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (chooser.next(rng) < 100) ++in_top_100;
+  }
+  // Under 0.99-zipf the top 1% of keys draws far more than 1% of accesses.
+  EXPECT_GT(in_top_100, 30000);
+}
+
+TEST(ZipfianChooserTest, StaysInRange) {
+  Rng rng(23);
+  ZipfianChooser chooser(100);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(chooser.next(rng), 100u);
+}
+
+TEST(ScrambledZipfianChooserTest, SpreadsHotKeysAcrossKeyspace) {
+  Rng rng(29);
+  ScrambledZipfianChooser chooser(10000);
+  // The hottest keys should no longer all be in the lowest indices.
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser.next(rng)];
+  auto hottest = counts.begin()->first;
+  int best = 0;
+  for (const auto& [k, n] : counts) {
+    if (n > best) {
+      best = n;
+      hottest = k;
+    }
+  }
+  EXPECT_LT(counts.size(), 10000u);  // skew: not all keys touched
+  EXPECT_GT(best, 100);             // there IS a hot key
+  (void)hottest;
+}
+
+TEST(Hash64Test, IsDeterministicAndMixes) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  EXPECT_NE(hash64(1), hash64(2));
+  // Avalanche sanity: flipping one input bit changes many output bits.
+  const auto a = hash64(0x1000);
+  const auto b = hash64(0x1001);
+  int diff_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(diff_bits, 16);
+}
+
+TEST(RandomAsciiTest, LengthAndAlphabet) {
+  Rng rng(31);
+  const std::string s = random_ascii(rng, 64);
+  ASSERT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,123 @@
+#include "src/common/threading.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace tfr {
+namespace {
+
+TEST(PeriodicTaskTest, RunsRepeatedly) {
+  std::atomic<int> runs{0};
+  PeriodicTask task([&] { ++runs; }, millis(5));
+  task.start();
+  sleep_millis(60);
+  task.stop();
+  EXPECT_GE(runs.load(), 3);
+}
+
+TEST(PeriodicTaskTest, StopPreventsFurtherRuns) {
+  std::atomic<int> runs{0};
+  PeriodicTask task([&] { ++runs; }, millis(5));
+  task.start();
+  sleep_millis(20);
+  task.stop();
+  const int after_stop = runs.load();
+  sleep_millis(30);
+  EXPECT_EQ(runs.load(), after_stop);
+}
+
+TEST(PeriodicTaskTest, StopIsIdempotent) {
+  PeriodicTask task([] {}, millis(5));
+  task.start();
+  task.stop();
+  task.stop();  // no crash, no deadlock
+}
+
+TEST(PeriodicTaskTest, NeverStartedStopsCleanly) {
+  PeriodicTask task([] {}, millis(5));
+  task.stop();
+}
+
+TEST(PeriodicTaskTest, TriggerNowRunsInline) {
+  std::atomic<int> runs{0};
+  PeriodicTask task([&] { ++runs; }, seconds(100));
+  task.trigger_now();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(PeriodicTaskTest, IntervalCanBeChanged) {
+  std::atomic<int> runs{0};
+  PeriodicTask task([&] { ++runs; }, seconds(100));
+  task.start();
+  task.set_interval(millis(5));
+  sleep_millis(40);
+  task.stop();
+  EXPECT_GE(runs.load(), 2);
+}
+
+TEST(PeriodicTaskTest, ShrinkingIntervalInterruptsTheCurrentWait) {
+  // Regression: a task sleeping on a long old interval must pick up a new
+  // short interval immediately, not after the old wait elapses — heartbeat
+  // TTL reconfiguration depends on this.
+  std::atomic<int> runs{0};
+  PeriodicTask task([&] { ++runs; }, seconds(60));
+  task.start();
+  sleep_millis(10);  // the task is now deep in its 60 s wait
+  const Micros t0 = now_micros();
+  task.set_interval(millis(5));
+  while (runs.load() == 0 && now_micros() - t0 < seconds(5)) sleep_millis(1);
+  EXPECT_GE(runs.load(), 1);
+  EXPECT_LT(now_micros() - t0, millis(500));
+  task.stop();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Semaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      SemaphoreGuard guard(sem);
+      const int now_inside = ++inside;
+      int prev = max_inside.load();
+      while (now_inside > prev && !max_inside.compare_exchange_weak(prev, now_inside)) {
+      }
+      sleep_millis(5);
+      --inside;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_GE(max_inside.load(), 1);
+}
+
+TEST(CountdownLatchTest, WaitReleasesAtZero) {
+  CountdownLatch latch(3);
+  std::thread t([&] {
+    sleep_millis(5);
+    latch.count_down();
+    latch.count_down();
+    latch.count_down();
+  });
+  latch.wait();
+  t.join();
+}
+
+TEST(CountdownLatchTest, WaitForTimesOut) {
+  CountdownLatch latch(1);
+  EXPECT_FALSE(latch.wait_for(millis(10)));
+  latch.count_down();
+  EXPECT_TRUE(latch.wait_for(millis(10)));
+}
+
+TEST(CountdownLatchTest, ExtraCountDownsAreHarmless) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  latch.count_down();
+  latch.wait();
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,72 @@
+// Regression test for the listener lifetime contract: remove_listener must
+// not return while a callback batch that copied the listener is still
+// executing — otherwise a component (master, recovery manager) can be
+// destroyed under a running callback (the crash TSAN originally caught).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/coord/coord.h"
+
+namespace tfr {
+namespace {
+
+TEST(CoordQuiesceTest, RemoveListenerWaitsForInFlightCallback) {
+  Coord coord(seconds(100));  // manual expiry only
+  std::atomic<bool> in_callback{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> callback_finished{false};
+
+  const int id = coord.add_listener("g", [&](const SessionInfo&, bool) {
+    in_callback = true;
+    while (!release) sleep_micros(100);
+    callback_finished = true;
+  });
+  ASSERT_TRUE(coord.create_session("g", "s1", millis(1)).is_ok());
+  sleep_millis(3);
+
+  // Fire the expiry on a helper thread; the callback blocks inside.
+  std::thread expiry([&] { coord.run_expiry_check(); });
+  while (!in_callback) sleep_micros(100);
+
+  // remove_listener must block until the callback completes.
+  std::atomic<bool> removed{false};
+  std::thread remover([&] {
+    coord.remove_listener("g", id);
+    removed = true;
+  });
+  sleep_millis(20);
+  EXPECT_FALSE(removed.load()) << "remove_listener returned with a callback in flight";
+
+  release = true;
+  remover.join();
+  expiry.join();
+  EXPECT_TRUE(callback_finished.load());
+  EXPECT_TRUE(removed.load());
+}
+
+TEST(CoordQuiesceTest, RemovedListenerNeverFiresAgain) {
+  Coord coord(seconds(100));
+  std::atomic<int> fires{0};
+  const int id = coord.add_listener("g", [&](const SessionInfo&, bool) { ++fires; });
+  ASSERT_TRUE(coord.create_session("g", "s1", millis(1)).is_ok());
+  sleep_millis(3);
+  coord.run_expiry_check();
+  EXPECT_EQ(fires.load(), 1);
+
+  coord.remove_listener("g", id);
+  ASSERT_TRUE(coord.create_session("g", "s2", millis(1)).is_ok());
+  sleep_millis(3);
+  coord.run_expiry_check();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(CoordQuiesceTest, RemoveUnknownListenerIsSafe) {
+  Coord coord(seconds(100));
+  coord.remove_listener("g", 999);     // unknown id
+  coord.remove_listener("nope", 1);    // unknown group
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,137 @@
+#include "src/coord/coord.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace tfr {
+namespace {
+
+TEST(CoordTest, CreateAndHeartbeatSession) {
+  Coord coord(seconds(10));  // manual expiry checks only
+  ASSERT_TRUE(coord.create_session("clients", "c1", seconds(1), 7).is_ok());
+  auto info = coord.session("clients", "c1");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->payload, 7);
+  ASSERT_TRUE(coord.heartbeat("clients", "c1", 42).is_ok());
+  EXPECT_EQ(coord.session("clients", "c1")->payload, 42);
+}
+
+TEST(CoordTest, DuplicateLiveSessionRejected) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("clients", "c1", seconds(1)).is_ok());
+  EXPECT_EQ(coord.create_session("clients", "c1", seconds(1)).code(), Code::kAlreadyExists);
+}
+
+TEST(CoordTest, GroupsAreIndependentNamespaces) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("clients", "x", seconds(1)).is_ok());
+  ASSERT_TRUE(coord.create_session("servers", "x", seconds(1)).is_ok());
+  EXPECT_EQ(coord.live_sessions("clients").size(), 1u);
+  EXPECT_EQ(coord.live_sessions("servers").size(), 1u);
+}
+
+TEST(CoordTest, ExpiryFiresListenerWithLastPayload) {
+  Coord coord(seconds(10));
+  std::atomic<int> expired_count{0};
+  HeartbeatPayload last_payload = -1;
+  coord.add_listener("clients", [&](const SessionInfo& info, bool expired) {
+    if (expired) {
+      ++expired_count;
+      last_payload = info.payload;
+    }
+  });
+  ASSERT_TRUE(coord.create_session("clients", "c1", millis(1)).is_ok());
+  ASSERT_TRUE(coord.heartbeat("clients", "c1", 99).is_ok());
+  sleep_millis(5);
+  coord.run_expiry_check();
+  EXPECT_EQ(expired_count.load(), 1);
+  EXPECT_EQ(last_payload, 99);
+  // The session is gone; a late heartbeat from the "dead" node is rejected.
+  EXPECT_TRUE(coord.heartbeat("clients", "c1", 100).is_unavailable());
+}
+
+TEST(CoordTest, HeartbeatKeepsSessionAlive) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("clients", "c1", millis(50)).is_ok());
+  for (int i = 0; i < 5; ++i) {
+    sleep_millis(10);
+    ASSERT_TRUE(coord.heartbeat("clients", "c1", i).is_ok());
+    coord.run_expiry_check();
+  }
+  EXPECT_EQ(coord.live_sessions("clients").size(), 1u);
+}
+
+TEST(CoordTest, CleanCloseFiresListenerWithExpiredFalse) {
+  Coord coord(seconds(10));
+  bool saw_clean_close = false;
+  coord.add_listener("clients", [&](const SessionInfo& info, bool expired) {
+    if (!expired && info.name == "c1") saw_clean_close = true;
+  });
+  ASSERT_TRUE(coord.create_session("clients", "c1", seconds(1)).is_ok());
+  ASSERT_TRUE(coord.close_session("clients", "c1").is_ok());
+  EXPECT_TRUE(saw_clean_close);
+  EXPECT_TRUE(coord.close_session("clients", "c1").is_not_found());
+}
+
+TEST(CoordTest, ReregistrationAfterExpiryAllowed) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("clients", "c1", millis(1)).is_ok());
+  sleep_millis(5);
+  coord.run_expiry_check();
+  ASSERT_TRUE(coord.create_session("clients", "c1", seconds(1)).is_ok());
+}
+
+TEST(CoordTest, LiveSessionsReturnsPayloads) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("servers", "rs1", seconds(1), 10).is_ok());
+  ASSERT_TRUE(coord.create_session("servers", "rs2", seconds(1), 20).is_ok());
+  auto sessions = coord.live_sessions("servers");
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].payload + sessions[1].payload, 30);
+}
+
+TEST(CoordTest, KvNamespace) {
+  Coord coord(seconds(10));
+  EXPECT_FALSE(coord.get("/tfr/TF").has_value());
+  coord.put("/tfr/TF", 123);
+  EXPECT_EQ(coord.get("/tfr/TF").value(), 123);
+  coord.put("/tfr/TF", 124);
+  EXPECT_EQ(coord.get("/tfr/TF").value(), 124);
+}
+
+TEST(CoordTest, BackgroundCheckerExpiresAutomatically) {
+  Coord coord(millis(5));
+  std::atomic<bool> expired{false};
+  coord.add_listener("clients", [&](const SessionInfo&, bool exp) {
+    if (exp) expired = true;
+  });
+  ASSERT_TRUE(coord.create_session("clients", "c1", millis(10)).is_ok());
+  const Micros deadline = now_micros() + seconds(2);
+  while (!expired && now_micros() < deadline) sleep_millis(5);
+  EXPECT_TRUE(expired.load());
+}
+
+TEST(CoordTest, UpdateTtlExtendsTheDetectionWindow) {
+  Coord coord(seconds(10));
+  ASSERT_TRUE(coord.create_session("clients", "c1", millis(5)).is_ok());
+  ASSERT_TRUE(coord.update_ttl("clients", "c1", seconds(10)).is_ok());
+  sleep_millis(10);  // old TTL would have expired by now
+  coord.run_expiry_check();
+  EXPECT_EQ(coord.live_sessions("clients").size(), 1u);
+  EXPECT_TRUE(coord.update_ttl("clients", "missing", seconds(1)).is_not_found());
+}
+
+TEST(CoordTest, MultipleListenersAllFire) {
+  Coord coord(seconds(10));
+  std::atomic<int> fired{0};
+  coord.add_listener("servers", [&](const SessionInfo&, bool) { ++fired; });
+  coord.add_listener("servers", [&](const SessionInfo&, bool) { ++fired; });
+  ASSERT_TRUE(coord.create_session("servers", "rs1", millis(1)).is_ok());
+  sleep_millis(5);
+  coord.run_expiry_check();
+  EXPECT_EQ(fired.load(), 2);
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,162 @@
+#include "src/dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+DfsConfig zero_latency(int nodes = 3, int repl = 2) {
+  DfsConfig cfg;
+  cfg.num_datanodes = nodes;
+  cfg.replication = repl;
+  cfg.block_size = 64;  // small blocks so tests exercise multi-block paths
+  return cfg;
+}
+
+TEST(DfsTest, CreateAppendSyncRead) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  ASSERT_TRUE(dfs.append("/f", "hello ").is_ok());
+  ASSERT_TRUE(dfs.append("/f", "world").is_ok());
+  auto synced = dfs.sync("/f");
+  ASSERT_TRUE(synced.is_ok());
+  EXPECT_EQ(synced.value(), 11u);
+  EXPECT_EQ(dfs.read_all("/f").value(), "hello world");
+}
+
+TEST(DfsTest, CreateExistingFails) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  EXPECT_EQ(dfs.create("/f").code(), Code::kAlreadyExists);
+}
+
+TEST(DfsTest, AppendToMissingFileFails) {
+  Dfs dfs(zero_latency());
+  EXPECT_TRUE(dfs.append("/missing", "x").is_not_found());
+}
+
+TEST(DfsTest, UnsyncedBytesAreNotReadable) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  ASSERT_TRUE(dfs.append("/f", "durable").is_ok());
+  ASSERT_TRUE(dfs.sync("/f").is_ok());
+  ASSERT_TRUE(dfs.append("/f", " volatile").is_ok());
+  // Readers only see the durable prefix.
+  EXPECT_EQ(dfs.read_all("/f").value(), "durable");
+  EXPECT_EQ(dfs.durable_size("/f").value(), 7u);
+}
+
+TEST(DfsTest, WriterCrashDropsUnsyncedSuffix) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/wal").is_ok());
+  ASSERT_TRUE(dfs.append("/wal", "synced|").is_ok());
+  ASSERT_TRUE(dfs.sync("/wal").is_ok());
+  ASSERT_TRUE(dfs.append("/wal", "lost").is_ok());
+  dfs.writer_crashed("/wal");
+  EXPECT_EQ(dfs.read_all("/wal").value(), "synced|");
+  // The file is closed: no more appends.
+  EXPECT_EQ(dfs.append("/wal", "x").code(), Code::kClosed);
+}
+
+TEST(DfsTest, WriterCrashOnMissingFileIsHarmless) {
+  Dfs dfs(zero_latency());
+  dfs.writer_crashed("/never-existed");
+}
+
+TEST(DfsTest, SyncedDataSurvivesWriterCrash) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.write_file("/data", std::string(500, 'x')).is_ok());
+  dfs.writer_crashed("/data");
+  EXPECT_EQ(dfs.read_all("/data").value().size(), 500u);
+}
+
+TEST(DfsTest, RangeReads) {
+  Dfs dfs(zero_latency());
+  std::string content;
+  for (int i = 0; i < 26; ++i) content += std::string(10, static_cast<char>('a' + i));
+  ASSERT_TRUE(dfs.write_file("/f", content).is_ok());
+  EXPECT_EQ(dfs.read("/f", 0, 10).value(), "aaaaaaaaaa");
+  EXPECT_EQ(dfs.read("/f", 250, 10).value(), "zzzzzzzzzz");
+  EXPECT_EQ(dfs.read("/f", 255, 100).value(), "zzzzz");  // truncates at EOF
+  EXPECT_EQ(dfs.read("/f", 1000, 10).value(), "");       // past EOF
+}
+
+TEST(DfsTest, ListByPrefix) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/data/r1/sf-1").is_ok());
+  ASSERT_TRUE(dfs.create("/data/r1/sf-2").is_ok());
+  ASSERT_TRUE(dfs.create("/data/r2/sf-1").is_ok());
+  ASSERT_TRUE(dfs.create("/wal/rs1.log").is_ok());
+  EXPECT_EQ(dfs.list("/data/r1/").size(), 2u);
+  EXPECT_EQ(dfs.list("/data/").size(), 3u);
+  EXPECT_EQ(dfs.list("/nothing/").size(), 0u);
+}
+
+TEST(DfsTest, RemoveAndExists) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  EXPECT_TRUE(dfs.exists("/f"));
+  ASSERT_TRUE(dfs.remove("/f").is_ok());
+  EXPECT_FALSE(dfs.exists("/f"));
+  EXPECT_TRUE(dfs.remove("/f").is_not_found());
+}
+
+TEST(DfsTest, SurvivesDatanodeFailureWithReplication) {
+  Dfs dfs(zero_latency(/*nodes=*/3, /*repl=*/2));
+  ASSERT_TRUE(dfs.write_file("/f", std::string(1000, 'd')).is_ok());
+  ASSERT_TRUE(dfs.fail_datanode(0).is_ok());
+  // Every block still has a live replica somewhere.
+  EXPECT_EQ(dfs.read_all("/f").value().size(), 1000u);
+}
+
+TEST(DfsTest, UnreadableWhenAllReplicasDown) {
+  Dfs dfs(zero_latency(/*nodes=*/2, /*repl=*/2));
+  ASSERT_TRUE(dfs.write_file("/f", std::string(100, 'd')).is_ok());
+  ASSERT_TRUE(dfs.fail_datanode(0).is_ok());
+  ASSERT_TRUE(dfs.fail_datanode(1).is_ok());
+  EXPECT_TRUE(dfs.read_all("/f").status().is_unavailable());
+  ASSERT_TRUE(dfs.restart_datanode(0).is_ok());
+  EXPECT_TRUE(dfs.read_all("/f").is_ok());
+}
+
+TEST(DfsTest, StatsCountSyncsAndReads) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.write_file("/f", std::string(200, 'x')).is_ok());
+  (void)dfs.read_all("/f");
+  const auto stats = dfs.stats();
+  EXPECT_EQ(stats.syncs, 1);
+  EXPECT_GE(stats.block_reads, 1);
+  EXPECT_EQ(stats.bytes_synced, 200);
+  EXPECT_EQ(stats.bytes_read, 200);
+}
+
+TEST(DfsTest, EmptySyncIsFreeNoop) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  ASSERT_TRUE(dfs.sync("/f").is_ok());
+  ASSERT_TRUE(dfs.sync("/f").is_ok());
+  EXPECT_EQ(dfs.stats().syncs, 0);  // nothing to sync, no charge
+}
+
+TEST(DfsTest, SyncLatencyIsCharged) {
+  DfsConfig cfg = zero_latency();
+  cfg.sync_latency = millis(5);
+  Dfs dfs(cfg);
+  ASSERT_TRUE(dfs.create("/f").is_ok());
+  ASSERT_TRUE(dfs.append("/f", "x").is_ok());
+  const Micros start = now_micros();
+  ASSERT_TRUE(dfs.sync("/f").is_ok());
+  EXPECT_GE(now_micros() - start, millis(4));
+}
+
+TEST(DfsTest, MultiBlockFilesPlaceAllBlocks) {
+  Dfs dfs(zero_latency());  // 64-byte blocks
+  ASSERT_TRUE(dfs.write_file("/big", std::string(1000, 'b')).is_ok());
+  // 1000 bytes / 64-byte blocks = 16 blocks; reading everything touches all.
+  const auto before = dfs.stats().block_reads;
+  (void)dfs.read_all("/big");
+  EXPECT_EQ(dfs.stats().block_reads - before, 16);
+}
+
+}  // namespace
+}  // namespace tfr

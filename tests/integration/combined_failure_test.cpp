@@ -1,0 +1,123 @@
+// Overlapping failures: the nastiest schedules the paper's protocol must
+// survive — client and server dying together, two clients at once, and a
+// server dying *while* a client recovery is replaying into it (the case
+// that forces client recovery off the failure-detection thread).
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+class CombinedFailureTest : public ::testing::Test {
+ protected:
+  CombinedFailureTest() : bed_(config()) {}
+
+  static TestbedConfig config() {
+    TestbedConfig cfg = fast_test_config(3, 3);
+    cfg.cluster.server.wal_sync_interval = seconds(100);  // crashes lose memstores
+    cfg.client.flusher_threads = 1;                       // big unflushed windows
+    return cfg;
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("t", 3000, 6).is_ok());
+  }
+
+  std::vector<Timestamp> burst(TxnClient& client, int from, int to) {
+    std::vector<Timestamp> out;
+    for (int i = from; i < to; ++i) {
+      Transaction txn = client.begin("t");
+      txn.put(Testbed::row_key(static_cast<std::uint64_t>(i)), "c",
+              "value-" + std::to_string(i));
+      auto ts = txn.commit();
+      EXPECT_TRUE(ts.is_ok());
+      out.push_back(ts.value_or(kNoTimestamp));
+    }
+    return out;
+  }
+
+  void verify(TxnClient& reader, int from, int to) {
+    Transaction r = reader.begin("t");
+    for (int i = from; i < to; ++i) {
+      auto v = r.get(Testbed::row_key(static_cast<std::uint64_t>(i)), "c");
+      ASSERT_TRUE(v.is_ok());
+      ASSERT_TRUE(v.value().has_value()) << "row " << i << " lost";
+      EXPECT_EQ(*v.value(), "value-" + std::to_string(i));
+    }
+    r.abort();
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(CombinedFailureTest, ClientAndServerDieTogether) {
+  auto tss = burst(bed_.client(0), 0, 40);
+  // Both failures at once: the client's unflushed write-sets need replay,
+  // and some target regions are down and must be recovered first.
+  bed_.crash_client(0);
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_client_recoveries(1, seconds(60)));
+  ASSERT_TRUE(bed_.wait_server_recoveries(1, seconds(60)));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back(), seconds(60)));
+  verify(bed_.client(1), 0, 40);
+}
+
+TEST_F(CombinedFailureTest, ServerDiesFirstThenClientMidRetry) {
+  // The client's flusher is stuck retrying against the dead server's
+  // regions when the client itself dies: the RM inherits the whole backlog.
+  bed_.crash_server(0);
+  auto tss = burst(bed_.client(0), 0, 30);  // commits fine; flushes blocked
+  bed_.crash_client(0);
+  ASSERT_TRUE(bed_.wait_client_recoveries(1, seconds(60)));
+  ASSERT_TRUE(bed_.wait_server_recoveries(1, seconds(60)));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back(), seconds(60)));
+  verify(bed_.client(1), 0, 30);
+}
+
+TEST_F(CombinedFailureTest, TwoClientsFailConcurrently) {
+  auto tss_a = burst(bed_.client(0), 0, 25);
+  auto tss_b = burst(bed_.client(1), 25, 50);
+  bed_.crash_client(0);
+  bed_.crash_client(1);
+  ASSERT_TRUE(bed_.wait_client_recoveries(2, seconds(60)));
+  bed_.wait_for_recovery();
+  const Timestamp last = std::max(tss_a.back(), tss_b.back());
+  ASSERT_TRUE(bed_.wait_stable(last, seconds(60)));
+  verify(bed_.client(2), 0, 50);
+}
+
+TEST_F(CombinedFailureTest, AllServersDieOneByOne) {
+  auto tss = burst(bed_.client(0), 0, 30);
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  for (int s = 0; s < 2; ++s) {
+    bed_.crash_server(s);
+    ASSERT_TRUE(bed_.wait_server_recoveries(s + 1, seconds(60)));
+    bed_.wait_for_recovery();
+    ASSERT_TRUE(bed_.client(0).wait_flushed(seconds(60)));
+  }
+  // Only rs3 remains, hosting everything.
+  EXPECT_EQ(bed_.master().live_servers().size(), 1u);
+  ASSERT_TRUE(bed_.wait_stable(tss.back(), seconds(60)));
+  verify(bed_.client(1), 0, 30);
+}
+
+TEST_F(CombinedFailureTest, RmRestartDuringServerRecoveryWindow) {
+  // Crash a server, and restart the RM right around the detection window:
+  // whichever RM instance handles it, nothing may be lost.
+  auto tss = burst(bed_.client(0), 0, 30);
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  bed_.crash_server(0);
+  bed_.restart_recovery_manager();
+  ASSERT_TRUE(bed_.wait_server_recoveries(1, seconds(60)));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client(0).wait_flushed(seconds(60)));
+  ASSERT_TRUE(bed_.wait_stable(tss.back(), seconds(60)));
+  verify(bed_.client(1), 0, 30);
+}
+
+}  // namespace
+}  // namespace tfr

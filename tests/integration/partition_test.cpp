@@ -1,0 +1,105 @@
+// Network-partition semantics (§3.1): "Since we treat a network partition as
+// a crash failure, if any further messages are received from a dead client,
+// they are ignored until the recovery procedure is completed. If a network
+// partition is the cause, the client heartbeat will not be able to contact
+// the recovery manager, which will result in it terminating itself."
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest() : bed_(fast_test_config(2, 2)) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("t", 1000, 4).is_ok());
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(PartitionTest, DeclaredDeadClientHeartbeatIsRejected) {
+  // Simulate the partition healing after expiry: kill the session directly.
+  (void)bed_.coord().close_session("clients", bed_.client(0).id());
+  EXPECT_TRUE(bed_.coord()
+                  .heartbeat("clients", bed_.client(0).id(), 0)
+                  .is_unavailable());
+}
+
+TEST_F(PartitionTest, PartitionedClientTerminatesItself) {
+  TxnClient& victim = bed_.client(0);
+  Transaction txn = victim.begin("t");
+  txn.put("k", "c", "v");
+  ASSERT_TRUE(txn.commit().is_ok());
+  ASSERT_TRUE(victim.wait_flushed());
+
+  // The "partition": the coordination service expires the session while the
+  // client still believes it is alive.
+  (void)bed_.coord().close_session("clients", victim.id());
+
+  // Its next heartbeat is rejected, and the client terminates itself.
+  victim.heartbeat_now();
+  const Micros deadline = now_micros() + seconds(10);
+  while (!victim.crashed() && now_micros() < deadline) sleep_millis(1);
+  EXPECT_TRUE(victim.crashed());
+
+  // After termination it refuses new work, like a crashed process.
+  Transaction late = victim.begin("t");
+  late.put("late", "c", "x");
+  EXPECT_EQ(late.commit().status().code(), Code::kClosed);
+}
+
+TEST_F(PartitionTest, PartitionedServerTerminatesItself) {
+  RegionServer& victim = bed_.cluster().server(0);
+  // Expire the server's session (partition longer than the TTL): the master
+  // begins reassigning its regions...
+  (void)bed_.coord().close_session("servers", victim.id());
+  // ...and the server's own next heartbeat tells it that it is dead.
+  victim.heartbeat_now();
+  const Micros deadline = now_micros() + seconds(10);
+  while (victim.alive() && now_micros() < deadline) sleep_millis(1);
+  EXPECT_FALSE(victim.alive());
+  bed_.wait_for_recovery();
+  // The cluster remains usable through the survivor.
+  Transaction txn = bed_.client(1).begin("t");
+  txn.put("still-works", "c", "v");
+  EXPECT_TRUE(txn.commit().is_ok());
+  EXPECT_TRUE(bed_.client(1).wait_flushed());
+}
+
+TEST_F(PartitionTest, CommittedWorkOfPartitionedClientSurvives) {
+  TxnClient& victim = bed_.client(0);
+  // Commit but do not wait for the flush; then "partition" the client.
+  std::vector<Timestamp> tss;
+  for (int i = 0; i < 20; ++i) {
+    Transaction txn = victim.begin("t");
+    txn.put(Testbed::row_key(static_cast<std::uint64_t>(i)), "c", "p" + std::to_string(i));
+    auto ts = txn.commit();
+    ASSERT_TRUE(ts.is_ok());
+    tss.push_back(ts.value());
+  }
+  // Expiry-style failure (not clean close) so the RM replays.
+  // Stop heartbeats by crashing the client's timers the hard way: just let
+  // the session TTL lapse by suspending heartbeats via crash simulation of
+  // the network: close_session models the RM-side declaration.
+  bed_.crash_client(0);
+  ASSERT_TRUE(bed_.wait_client_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+
+  Transaction r = bed_.client(1).begin("t");
+  for (int i = 0; i < 20; ++i) {
+    auto v = r.get(Testbed::row_key(static_cast<std::uint64_t>(i)), "c");
+    ASSERT_TRUE(v.is_ok());
+    ASSERT_TRUE(v.value().has_value()) << i;
+    EXPECT_EQ(*v.value(), "p" + std::to_string(i));
+  }
+  r.abort();
+}
+
+}  // namespace
+}  // namespace tfr

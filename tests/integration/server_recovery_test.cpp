@@ -1,0 +1,215 @@
+// §3.2 — server failure handling: store-internal WAL-split recovery, the
+// region gate, transactional replay after TPr(s), TP inheritance across
+// cascading failures, and interrupted client flushes.
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+class ServerRecoveryTest : public ::testing::Test {
+ protected:
+  ServerRecoveryTest() : bed_(config()) {}
+
+  static TestbedConfig config() {
+    TestbedConfig cfg = fast_test_config(3, 1);
+    // Keep the WAL syncer effectively off so a crash reliably loses the
+    // in-memory tail (the paper's asynchronous-persistence window).
+    cfg.cluster.server.wal_sync_interval = seconds(100);
+    return cfg;
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("t", 3000, 6).is_ok());
+  }
+
+  std::vector<Timestamp> commit_rows(int from, int to) {
+    std::vector<Timestamp> out;
+    for (int i = from; i < to; ++i) {
+      Transaction txn = bed_.client().begin("t");
+      txn.put(Testbed::row_key(i), "c", "value-" + std::to_string(i));
+      auto ts = txn.commit();
+      EXPECT_TRUE(ts.is_ok());
+      out.push_back(ts.value_or(kNoTimestamp));
+    }
+    return out;
+  }
+
+  void verify_rows(int from, int to) {
+    Transaction r = bed_.client().begin("t");
+    for (int i = from; i < to; ++i) {
+      auto v = r.get(Testbed::row_key(i), "c");
+      ASSERT_TRUE(v.is_ok());
+      ASSERT_TRUE(v.value().has_value()) << "lost committed row " << i;
+      EXPECT_EQ(*v.value(), "value-" + std::to_string(i));
+    }
+    r.abort();
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(ServerRecoveryTest, UnpersistedWritesSurviveServerCrash) {
+  auto tss = commit_rows(0, 60);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  // Nothing has been WAL-synced: the crash loses every memstore update, and
+  // only the TM-log replay can bring them back.
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_GE(bed_.rm().stats().server_recoveries, 1);
+
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 60);
+}
+
+TEST_F(ServerRecoveryTest, RecoveryDoesNotDisturbSurvivingServers) {
+  auto tss = commit_rows(0, 30);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  const auto victim_regions = bed_.cluster().server(0).region_names();
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  // Regions that were NOT on the victim stayed where they were.
+  for (const auto& loc : bed_.master().table_regions("t")) {
+    if (std::find(victim_regions.begin(), victim_regions.end(), loc.region_name) ==
+        victim_regions.end()) {
+      EXPECT_NE(loc.server_id, "rs1");
+    }
+  }
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 30);
+}
+
+TEST_F(ServerRecoveryTest, OnlyWritesetsAfterTprAreReplayed) {
+  // Persist a first batch everywhere and let TP advance past it; commit a
+  // second batch that stays unpersisted, then crash. Only the second batch
+  // should be replayed.
+  auto first = commit_rows(0, 20);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(first.back()));
+  const Micros deadline = now_micros() + seconds(10);
+  while (bed_.rm().global_tp() < first.back() && now_micros() < deadline) {
+    for (int s = 0; s < bed_.cluster().num_servers(); ++s) {
+      bed_.cluster().server(s).heartbeat_now();
+    }
+    bed_.rm().refresh_now();
+    sleep_millis(1);
+  }
+  ASSERT_GE(bed_.rm().global_tp(), first.back());
+
+  auto second = commit_rows(20, 40);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+
+  const auto stats = bed_.rm().recovery_client_stats();
+  // Each region replay filters the candidate write-sets; the replayed
+  // mutations can only come from the second batch.
+  EXPECT_LE(stats.mutations_replayed, 20);
+  ASSERT_TRUE(bed_.wait_stable(second.back()));
+  verify_rows(0, 40);
+}
+
+TEST_F(ServerRecoveryTest, CascadedFailureInheritanceKeepsDurability) {
+  // The §3.2 scenario: replay lands on s', s' crashes before persisting the
+  // replayed updates. Because s' inherited TP(s), its own recovery replays
+  // them again. Without the piggyback this loses data.
+  auto tss = commit_rows(0, 60);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client().wait_flushed());
+
+  // Immediately crash a second server — the one(s) that inherited replayed
+  // updates have not WAL-synced them (syncer is off; heartbeats may not
+  // have fired yet with a fresh TF).
+  bed_.crash_server(1);
+  ASSERT_TRUE(bed_.wait_server_recoveries(2));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client().wait_flushed());
+
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 60);
+}
+
+TEST_F(ServerRecoveryTest, InterruptedFlushRetriesUntilRegionsReturn) {
+  // Crash first, then commit transactions whose rows live on the dead
+  // server's regions: the flush blocks, retries without limit (§3.2), and
+  // completes once recovery brings the regions back online.
+  bed_.crash_server(0);
+  auto tss = commit_rows(0, 20);  // commits succeed regardless (TM log)
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  EXPECT_TRUE(bed_.client().wait_flushed(seconds(30)))
+      << "flushes must complete once the regions are back";
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 20);
+}
+
+TEST_F(ServerRecoveryTest, AtomicityAcrossRecoveryNoTornWritesets) {
+  // A multi-region write-set is either fully visible or not at all at any
+  // stable snapshot, even right after a failover.
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn = bed_.client().begin("t");
+    // Rows in different regions (spread across the keyspace).
+    txn.put(Testbed::row_key(i), "c", "pair-" + std::to_string(i));
+    txn.put(Testbed::row_key(2500 + i), "c", "pair-" + std::to_string(i));
+    ASSERT_TRUE(txn.commit().is_ok());
+  }
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client().wait_flushed());
+
+  // Stable snapshots never show half a write-set.
+  Transaction r = bed_.client().begin("t");
+  for (int i = 0; i < 10; ++i) {
+    auto a = r.get(Testbed::row_key(i), "c");
+    auto b = r.get(Testbed::row_key(2500 + i), "c");
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(a.value().has_value(), b.value().has_value()) << "torn write-set " << i;
+    if (a.value().has_value()) EXPECT_EQ(*a.value(), *b.value());
+  }
+  r.abort();
+}
+
+TEST_F(ServerRecoveryTest, CleanShutdownNeedsNoTransactionalReplay) {
+  auto tss = commit_rows(0, 20);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  ASSERT_TRUE(bed_.cluster().server(0).shutdown().is_ok());
+  bed_.wait_for_recovery();
+  EXPECT_EQ(bed_.rm().stats().server_recoveries, 0);
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 20);
+}
+
+TEST_F(ServerRecoveryTest, SplitWalEditsCombineWithTmLogReplay) {
+  // Partially persist: sync the WALs midway, then keep committing. After a
+  // crash, the synced prefix returns via HBase's split-WAL recovery and the
+  // suffix via the TM log; together they must cover everything.
+  auto first = commit_rows(0, 20);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+  for (int s = 0; s < bed_.cluster().num_servers(); ++s) {
+    ASSERT_TRUE(bed_.cluster().server(s).persist_wal().is_ok());
+  }
+  auto second = commit_rows(20, 40);
+  ASSERT_TRUE(bed_.client().wait_flushed());
+
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(second.back()));
+  verify_rows(0, 40);
+}
+
+}  // namespace
+}  // namespace tfr

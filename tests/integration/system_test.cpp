@@ -1,0 +1,142 @@
+// Whole-system smoke tests through the YCSB driver: sustained multi-threaded
+// transactional load, failures mid-workload, and the recovery-manager
+// restart path — the closest thing to the paper's §4 runs, in miniature.
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+#include "src/ycsb/driver.h"
+
+namespace tfr {
+namespace {
+
+TestbedConfig system_config() {
+  TestbedConfig cfg = fast_test_config(2, 1);
+  cfg.client.flusher_threads = 4;
+  return cfg;
+}
+
+WorkloadConfig small_workload(std::uint64_t rows) {
+  WorkloadConfig w;
+  w.num_rows = rows;
+  w.ops_per_txn = 4;
+  w.value_size = 32;
+  return w;
+}
+
+TEST(SystemTest, SustainedLoadCommitsAndFlushes) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 500;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 32).is_ok());
+
+  DriverConfig dc;
+  dc.threads = 8;
+  dc.duration = seconds(2);
+  YcsbDriver driver(bed, small_workload(kRows), dc);
+  auto report = driver.run();
+
+  EXPECT_GT(report.committed, 100u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.throughput_tps, 0.0);
+  EXPECT_GT(report.mean_latency_ms, 0.0);
+  EXPECT_FALSE(report.series.empty());
+  ASSERT_TRUE(bed.client().wait_flushed(seconds(30)));
+}
+
+TEST(SystemTest, ServerCrashMidWorkloadLosesNothing) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 500;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 32).is_ok());
+
+  DriverConfig dc;
+  dc.threads = 8;
+  dc.duration = seconds(3);
+  YcsbDriver driver(bed, small_workload(kRows), dc);
+  driver.schedule(seconds(1), "crash rs1", [&] { bed.crash_server(0); });
+  auto report = driver.run();
+
+  bed.wait_for_recovery();
+  ASSERT_TRUE(bed.client().wait_flushed(seconds(60)));
+  EXPECT_GT(report.committed, 50u);
+  // All regions ended up on the survivor and the table is fully readable.
+  Transaction r = bed.client().begin("usertable");
+  auto cells = r.scan("", "", 0);
+  ASSERT_TRUE(cells.is_ok());
+  EXPECT_EQ(cells.value().size(), kRows);
+  r.abort();
+}
+
+TEST(SystemTest, ZipfianWorkloadRuns) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 300;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 16).is_ok());
+
+  WorkloadConfig w = small_workload(kRows);
+  w.distribution = KeyDistribution::kZipfian;
+  DriverConfig dc;
+  dc.threads = 4;
+  dc.duration = seconds(1);
+  YcsbDriver driver(bed, w, dc);
+  auto report = driver.run();
+  EXPECT_GT(report.committed, 10u);
+  // Zipfian contention produces some conflict aborts; that is expected and
+  // they are not errors.
+  EXPECT_EQ(report.errors, 0u);
+}
+
+TEST(SystemTest, ThrottledLoadTracksTarget) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 300;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 16).is_ok());
+
+  DriverConfig dc;
+  dc.threads = 8;
+  dc.target_tps = 100;
+  dc.duration = seconds(2);
+  YcsbDriver driver(bed, small_workload(kRows), dc);
+  auto report = driver.run();
+  EXPECT_NEAR(report.throughput_tps, 100.0, 30.0);
+}
+
+TEST(SystemTest, RecoveryManagerRestartMidWorkload) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 300;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 16).is_ok());
+
+  DriverConfig dc;
+  dc.threads = 4;
+  dc.duration = seconds(2);
+  YcsbDriver driver(bed, small_workload(kRows), dc);
+  driver.schedule(millis(500), "restart RM", [&] { bed.restart_recovery_manager(); });
+  auto report = driver.run();
+  // §3.3: processing continues across the RM restart.
+  EXPECT_GT(report.committed, 50u);
+  EXPECT_EQ(report.errors, 0u);
+  ASSERT_TRUE(bed.client().wait_flushed(seconds(30)));
+}
+
+TEST(SystemTest, ElasticScaleOutAddsCapacity) {
+  Testbed bed(system_config());
+  ASSERT_TRUE(bed.start().is_ok());
+  constexpr std::uint64_t kRows = 300;
+  ASSERT_TRUE(bed.create_table("usertable", kRows, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("usertable", kRows, 16).is_ok());
+  // Add a server mid-flight; new tables use it.
+  ASSERT_TRUE(bed.cluster().add_server().is_ok());
+  ASSERT_TRUE(bed.create_table("t2", 100, 3).is_ok());
+  std::set<std::string> hosts;
+  for (const auto& r : bed.master().table_regions("t2")) hosts.insert(r.server_id);
+  EXPECT_GE(hosts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tfr

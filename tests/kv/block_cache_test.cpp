@@ -1,0 +1,111 @@
+#include "src/kv/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tfr {
+namespace {
+
+BlockPtr block_of(std::size_t bytes) {
+  auto b = std::make_shared<CacheBlock>();
+  b->byte_size = bytes;
+  return b;
+}
+
+TEST(BlockCacheTest, MissLoadsThenHits) {
+  BlockCache cache(1024);
+  int loads = 0;
+  auto loader = [&]() -> Result<BlockPtr> {
+    ++loads;
+    return block_of(100);
+  };
+  ASSERT_TRUE(cache.get_or_load("k", loader).is_ok());
+  ASSERT_TRUE(cache.get_or_load("k", loader).is_ok());
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(BlockCacheTest, LoaderErrorPropagates) {
+  BlockCache cache(1024);
+  auto result = cache.get_or_load("k", []() -> Result<BlockPtr> {
+    return Status::unavailable("dfs down");
+  });
+  EXPECT_TRUE(result.status().is_unavailable());
+  // Nothing cached; a later successful load works.
+  ASSERT_TRUE(cache.get_or_load("k", [] { return Result<BlockPtr>(block_of(1)); }).is_ok());
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(250);
+  auto load100 = [] { return Result<BlockPtr>(block_of(100)); };
+  ASSERT_TRUE(cache.get_or_load("a", load100).is_ok());
+  ASSERT_TRUE(cache.get_or_load("b", load100).is_ok());
+  ASSERT_TRUE(cache.get_or_load("a", load100).is_ok());  // touch a: b is LRU now
+  ASSERT_TRUE(cache.get_or_load("c", load100).is_ok());  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1);
+  int loads = 0;
+  ASSERT_TRUE(cache.get_or_load("a", [&] {
+    ++loads;
+    return Result<BlockPtr>(block_of(100));
+  }).is_ok());
+  EXPECT_EQ(loads, 0);  // a survived
+}
+
+TEST(BlockCacheTest, BytesTracked) {
+  BlockCache cache(10000);
+  ASSERT_TRUE(cache.get_or_load("a", [] { return Result<BlockPtr>(block_of(123)); }).is_ok());
+  ASSERT_TRUE(cache.get_or_load("b", [] { return Result<BlockPtr>(block_of(77)); }).is_ok());
+  EXPECT_EQ(cache.stats().bytes, 200);
+}
+
+TEST(BlockCacheTest, InvalidatePrefix) {
+  BlockCache cache(10000);
+  auto load = [] { return Result<BlockPtr>(block_of(10)); };
+  ASSERT_TRUE(cache.get_or_load("/sf1#0", load).is_ok());
+  ASSERT_TRUE(cache.get_or_load("/sf1#1", load).is_ok());
+  ASSERT_TRUE(cache.get_or_load("/sf2#0", load).is_ok());
+  cache.invalidate_prefix("/sf1#");
+  EXPECT_EQ(cache.stats().bytes, 10);
+  int loads = 0;
+  ASSERT_TRUE(cache.get_or_load("/sf1#0", [&] {
+    ++loads;
+    return Result<BlockPtr>(block_of(10));
+  }).is_ok());
+  EXPECT_EQ(loads, 1);  // had to reload
+}
+
+TEST(BlockCacheTest, ClearEmptiesEverything) {
+  BlockCache cache(10000);
+  ASSERT_TRUE(cache.get_or_load("a", [] { return Result<BlockPtr>(block_of(10)); }).is_ok());
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+TEST(BlockCacheTest, ConcurrentAccessIsSafe) {
+  BlockCache cache(1 << 16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((i + t) % 50);
+        ASSERT_TRUE(cache.get_or_load(key, [] {
+          return Result<BlockPtr>(block_of(64));
+        }).is_ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.stats().bytes, static_cast<std::int64_t>(cache.capacity()));
+}
+
+TEST(BlockCacheTest, OversizedBlockDoesNotWedgeCache) {
+  BlockCache cache(100);
+  ASSERT_TRUE(cache.get_or_load("big", [] { return Result<BlockPtr>(block_of(1000)); }).is_ok());
+  // Eviction brings usage back under capacity (the big block itself goes).
+  EXPECT_LE(cache.stats().bytes, 100);
+}
+
+}  // namespace
+}  // namespace tfr

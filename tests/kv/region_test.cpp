@@ -1,0 +1,134 @@
+#include "src/kv/region.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+class RegionTest : public ::testing::Test {
+ protected:
+  RegionTest() : dfs_(DfsConfig{}), cache_(1 << 20) {}
+
+  std::unique_ptr<Region> make_region(const std::string& start = "",
+                                      const std::string& end = "") {
+    auto region = std::make_unique<Region>(RegionDescriptor{"t", start, end}, dfs_, cache_);
+    EXPECT_TRUE(region->load_store_files().is_ok());
+    region->set_state(RegionState::kOnline);
+    return region;
+  }
+
+  Dfs dfs_;
+  BlockCache cache_;
+};
+
+TEST_F(RegionTest, ApplyAndGetFromMemstore) {
+  auto region = make_region();
+  region->apply({Cell{"r", "c", "v", 5, false}});
+  auto cell = region->get("r", "c", 10);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_TRUE(cell.value().has_value());
+  EXPECT_EQ(cell.value()->value, "v");
+}
+
+TEST_F(RegionTest, FlushMovesDataToStoreFilesAndReadsStillWork) {
+  auto region = make_region();
+  region->apply({Cell{"r1", "c", "v1", 5, false}, Cell{"r2", "c", "v2", 6, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  EXPECT_EQ(region->memstore_bytes(), 0u);
+  EXPECT_EQ(region->store_file_count(), 1u);
+  EXPECT_EQ(region->get("r1", "c", 10).value()->value, "v1");
+  EXPECT_EQ(region->get("r2", "c", 10).value()->value, "v2");
+}
+
+TEST_F(RegionTest, MemstoreShadowsOlderStoreFileVersions) {
+  auto region = make_region();
+  region->apply({Cell{"r", "c", "old", 5, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  region->apply({Cell{"r", "c", "new", 9, false}});
+  EXPECT_EQ(region->get("r", "c", 10).value()->value, "new");
+  EXPECT_EQ(region->get("r", "c", 6).value()->value, "old");
+}
+
+TEST_F(RegionTest, NewerStoreFileWinsOverOlder) {
+  auto region = make_region();
+  region->apply({Cell{"r", "c", "first", 5, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  region->apply({Cell{"r", "c", "second", 8, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  EXPECT_EQ(region->store_file_count(), 2u);
+  EXPECT_EQ(region->get("r", "c", 10).value()->value, "second");
+}
+
+TEST_F(RegionTest, TombstoneHidesValueAcrossFlush) {
+  auto region = make_region();
+  region->apply({Cell{"r", "c", "v", 5, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  region->apply({Cell{"r", "c", "", 8, true}});
+  EXPECT_FALSE(region->get("r", "c", 10).value().has_value());
+  EXPECT_TRUE(region->get("r", "c", 6).value().has_value());
+}
+
+TEST_F(RegionTest, EmptyFlushIsNoop) {
+  auto region = make_region();
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  EXPECT_EQ(region->store_file_count(), 0u);
+}
+
+TEST_F(RegionTest, ScanMergesMemstoreAndFiles) {
+  auto region = make_region();
+  region->apply({Cell{"a", "c", "va-old", 1, false}, Cell{"b", "c", "vb", 2, false}});
+  ASSERT_TRUE(region->flush_memstore().is_ok());
+  region->apply({Cell{"a", "c", "va-new", 5, false}, Cell{"c", "c", "vc", 6, false}});
+  auto cells = region->scan("", "", 10, 0).value();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].value, "va-new");
+  EXPECT_EQ(cells[1].value, "vb");
+  EXPECT_EQ(cells[2].value, "vc");
+}
+
+TEST_F(RegionTest, ScanRespectsLimit) {
+  auto region = make_region();
+  for (int i = 0; i < 10; ++i) {
+    region->apply({Cell{"row" + std::to_string(i), "c", "v", 1, false}});
+  }
+  EXPECT_EQ(region->scan("", "", 10, 3).value().size(), 3u);
+}
+
+TEST_F(RegionTest, ReopenedRegionFindsItsStoreFiles) {
+  const RegionDescriptor desc{"t", "", ""};
+  {
+    Region first(desc, dfs_, cache_);
+    ASSERT_TRUE(first.load_store_files().is_ok());
+    first.apply({Cell{"r", "c", "persisted", 3, false}});
+    ASSERT_TRUE(first.flush_memstore().is_ok());
+  }
+  // A different server opens the region: store files come back from the DFS.
+  Region second(desc, dfs_, cache_);
+  ASSERT_TRUE(second.load_store_files().is_ok());
+  EXPECT_EQ(second.store_file_count(), 1u);
+  EXPECT_EQ(second.get("r", "c", 10).value()->value, "persisted");
+  // And its next flush does not clobber the old file.
+  second.apply({Cell{"r2", "c", "more", 4, false}});
+  ASSERT_TRUE(second.flush_memstore().is_ok());
+  EXPECT_EQ(second.store_file_count(), 2u);
+}
+
+TEST_F(RegionTest, StateTransitions) {
+  auto region = make_region();
+  EXPECT_EQ(region->state(), RegionState::kOnline);
+  region->set_state(RegionState::kGated);
+  EXPECT_EQ(region_state_name(region->state()), "gated");
+}
+
+TEST_F(RegionTest, DescriptorContains) {
+  RegionDescriptor d{"t", "b", "m"};
+  EXPECT_TRUE(d.contains("b"));
+  EXPECT_TRUE(d.contains("cxx"));
+  EXPECT_FALSE(d.contains("m"));
+  EXPECT_FALSE(d.contains("a"));
+  RegionDescriptor open_end{"t", "m", ""};
+  EXPECT_TRUE(open_end.contains("zzz"));
+}
+
+}  // namespace
+}  // namespace tfr

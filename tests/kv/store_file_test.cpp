@@ -1,0 +1,134 @@
+#include "src/kv/store_file.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace tfr {
+namespace {
+
+class StoreFileTest : public ::testing::Test {
+ protected:
+  StoreFileTest() : dfs_(DfsConfig{}), cache_(1 << 20) {}
+
+  Dfs dfs_;
+  BlockCache cache_;
+};
+
+TEST_F(StoreFileTest, RoundTripSingleBlock) {
+  StoreFileWriter writer;
+  writer.add(Cell{"a", "c", "va", 5, false});
+  writer.add(Cell{"b", "c", "vb", 7, false});
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+
+  auto reader = StoreFileReader::open(dfs_, "/sf");
+  ASSERT_TRUE(reader.is_ok());
+  EXPECT_EQ(reader.value()->max_ts(), 7);
+  auto cell = reader.value()->get(cache_, "a", "c", 10);
+  ASSERT_TRUE(cell.is_ok());
+  ASSERT_TRUE(cell.value().has_value());
+  EXPECT_EQ(cell.value()->value, "va");
+}
+
+TEST_F(StoreFileTest, SnapshotFiltering) {
+  StoreFileWriter writer;
+  // Sorted order: ts descending within a column.
+  writer.add(Cell{"a", "c", "new", 20, false});
+  writer.add(Cell{"a", "c", "old", 10, false});
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  EXPECT_EQ(reader->get(cache_, "a", "c", 25).value()->value, "new");
+  EXPECT_EQ(reader->get(cache_, "a", "c", 15).value()->value, "old");
+  EXPECT_FALSE(reader->get(cache_, "a", "c", 5).value().has_value());
+}
+
+TEST_F(StoreFileTest, MissingRowReturnsEmpty) {
+  StoreFileWriter writer;
+  writer.add(Cell{"m", "c", "v", 1, false});
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  EXPECT_FALSE(reader->get(cache_, "a", "c", 10).value().has_value());  // before first row
+  EXPECT_FALSE(reader->get(cache_, "z", "c", 10).value().has_value());  // after last row
+}
+
+TEST_F(StoreFileTest, MultiBlockFileAndIndex) {
+  StoreFileWriter writer(/*target_block_bytes=*/256);
+  constexpr int kRows = 200;
+  for (int i = 0; i < kRows; ++i) {
+    char row[16];
+    std::snprintf(row, sizeof(row), "row%05d", i);
+    writer.add(Cell{row, "c", "value-" + std::to_string(i), 1, false});
+  }
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  EXPECT_GT(reader->block_count(), 5u);
+  // Every row is findable through the index.
+  for (int i = 0; i < kRows; i += 17) {
+    char row[16];
+    std::snprintf(row, sizeof(row), "row%05d", i);
+    auto cell = reader->get(cache_, row, "c", 10);
+    ASSERT_TRUE(cell.is_ok());
+    ASSERT_TRUE(cell.value().has_value()) << row;
+    EXPECT_EQ(cell.value()->value, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(StoreFileTest, ScanRange) {
+  StoreFileWriter writer(128);
+  for (int i = 0; i < 50; ++i) {
+    char row[16];
+    std::snprintf(row, sizeof(row), "row%05d", i);
+    writer.add(Cell{row, "c", "v", 1, false});
+  }
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  auto cells = reader->scan(cache_, "row00010", "row00020", 10);
+  ASSERT_TRUE(cells.is_ok());
+  EXPECT_EQ(cells.value().size(), 10u);
+  EXPECT_EQ(cells.value().front().row, "row00010");
+  EXPECT_EQ(cells.value().back().row, "row00019");
+}
+
+TEST_F(StoreFileTest, ScanDeduplicatesVersions) {
+  StoreFileWriter writer;
+  writer.add(Cell{"a", "c", "v2", 2, false});
+  writer.add(Cell{"a", "c", "v1", 1, false});
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  auto cells = reader->scan(cache_, "", "", 10).value();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].value, "v2");
+}
+
+TEST_F(StoreFileTest, EmptyFileIsValid) {
+  StoreFileWriter writer;
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  EXPECT_EQ(reader->block_count(), 0u);
+  EXPECT_FALSE(reader->get(cache_, "x", "c", 10).value().has_value());
+  EXPECT_TRUE(reader->scan(cache_, "", "", 10).value().empty());
+}
+
+TEST_F(StoreFileTest, CorruptFileRejected) {
+  ASSERT_TRUE(dfs_.write_file("/junk", "this is not a store file at all....").is_ok());
+  EXPECT_EQ(StoreFileReader::open(dfs_, "/junk").status().code(), Code::kCorruption);
+  ASSERT_TRUE(dfs_.write_file("/tiny", "xy").is_ok());
+  EXPECT_EQ(StoreFileReader::open(dfs_, "/tiny").status().code(), Code::kCorruption);
+}
+
+TEST_F(StoreFileTest, BlockReadsGoThroughCache) {
+  StoreFileWriter writer;
+  writer.add(Cell{"a", "c", "v", 1, false});
+  ASSERT_TRUE(writer.finish(dfs_, "/sf").is_ok());
+  auto reader = StoreFileReader::open(dfs_, "/sf").value();
+  const auto dfs_reads_before = dfs_.stats().block_reads;
+  ASSERT_TRUE(reader->get(cache_, "a", "c", 10).is_ok());  // miss -> DFS read
+  const auto after_first = dfs_.stats().block_reads;
+  EXPECT_GT(after_first, dfs_reads_before);
+  ASSERT_TRUE(reader->get(cache_, "a", "c", 10).is_ok());  // hit -> no DFS read
+  EXPECT_EQ(dfs_.stats().block_reads, after_first);
+  EXPECT_GE(cache_.stats().hits, 1);
+}
+
+}  // namespace
+}  // namespace tfr

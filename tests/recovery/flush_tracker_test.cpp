@@ -1,0 +1,136 @@
+// Unit tests for Algorithm 1 — the client-side flush threshold TF(c).
+#include "src/recovery/flush_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+
+namespace tfr {
+namespace {
+
+TEST(FlushTrackerTest, StartsAtInitialValue) {
+  FlushTracker tracker(5);
+  EXPECT_EQ(tracker.tf(), 5);
+  EXPECT_EQ(tracker.advance(kNoTimestamp), 5);
+}
+
+TEST(FlushTrackerTest, AdvancesThroughInOrderFlushes) {
+  FlushTracker tracker(0);
+  tracker.on_commit_ts(1);
+  tracker.on_commit_ts(2);
+  tracker.on_flushed(1);
+  EXPECT_EQ(tracker.advance(kNoTimestamp), 1);
+  tracker.on_flushed(2);
+  EXPECT_EQ(tracker.advance(kNoTimestamp), 2);
+}
+
+TEST(FlushTrackerTest, OutOfOrderFlushRespectsCommitOrder) {
+  // The paper's key subtlety: "for any two local transactions with commit
+  // timestamps Ti < Tj, TF(c) will always advance from Ti to Tj, even if
+  // the flush of Tj is completed before that of Ti."
+  FlushTracker tracker(0);
+  tracker.on_commit_ts(1);
+  tracker.on_commit_ts(2);
+  tracker.on_commit_ts(3);
+  tracker.on_flushed(3);  // newest flushes first
+  tracker.on_flushed(2);
+  EXPECT_EQ(tracker.advance(kNoTimestamp), 0) << "txn 1 is still unflushed";
+  tracker.on_flushed(1);
+  EXPECT_EQ(tracker.advance(kNoTimestamp), 3) << "now all three drain at once";
+}
+
+TEST(FlushTrackerTest, InFlightCountsUnmatchedCommits) {
+  FlushTracker tracker(0);
+  tracker.on_commit_ts(1);
+  tracker.on_commit_ts(2);
+  EXPECT_EQ(tracker.in_flight(), 2u);
+  tracker.on_flushed(1);
+  (void)tracker.advance(kNoTimestamp);
+  EXPECT_EQ(tracker.in_flight(), 1u);
+}
+
+TEST(FlushTrackerTest, IdleFastPathJumpsToCurrentTs) {
+  FlushTracker tracker(0);
+  // Nothing in flight: other clients' commits moved the oracle to 50; this
+  // client can claim TF(c)=50 because none of ITS transactions are open.
+  EXPECT_EQ(tracker.advance(50), 50);
+}
+
+TEST(FlushTrackerTest, IdleFastPathBlockedWhileInFlight) {
+  FlushTracker tracker(0);
+  tracker.on_commit_ts(10);
+  EXPECT_EQ(tracker.advance(50), 0) << "txn 10 unflushed: cannot jump to 50";
+  tracker.on_flushed(10);
+  EXPECT_EQ(tracker.advance(50), 50) << "drained, then idle jump applies";
+}
+
+TEST(FlushTrackerTest, IdleFastPathNeverRegresses) {
+  FlushTracker tracker(10);
+  EXPECT_EQ(tracker.advance(5), 10);
+}
+
+TEST(FlushTrackerTest, MonotonicAcrossManyAdvances) {
+  FlushTracker tracker(0);
+  Timestamp last = 0;
+  for (Timestamp ts = 1; ts <= 100; ++ts) {
+    tracker.on_commit_ts(ts);
+    if (ts % 3 == 0) {
+      // flush a batch out of order
+      tracker.on_flushed(ts);
+      tracker.on_flushed(ts - 1);
+      tracker.on_flushed(ts - 2);
+    }
+    const Timestamp tf = tracker.advance(kNoTimestamp);
+    EXPECT_GE(tf, last);
+    last = tf;
+  }
+}
+
+// Property test: for any interleaving of flush completions, TF(c) never
+// passes an unflushed transaction and eventually reaches the maximum.
+class FlushTrackerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlushTrackerPropertyTest, InvariantHoldsUnderRandomFlushOrder) {
+  Rng rng(GetParam());
+  FlushTracker tracker(0);
+  constexpr Timestamp kTxns = 200;
+  std::vector<Timestamp> to_flush;
+  for (Timestamp ts = 1; ts <= kTxns; ++ts) {
+    tracker.on_commit_ts(ts);
+    to_flush.push_back(ts);
+  }
+  // Random flush completion order.
+  for (std::size_t i = to_flush.size(); i > 1; --i) {
+    std::swap(to_flush[i - 1], to_flush[rng.next_below(i)]);
+  }
+  std::set<Timestamp> flushed;
+  for (const Timestamp ts : to_flush) {
+    tracker.on_flushed(ts);
+    flushed.insert(ts);
+    const Timestamp tf = tracker.advance(kNoTimestamp);
+    // Local invariant: every transaction <= TF(c) has been flushed.
+    for (Timestamp t = 1; t <= tf; ++t) {
+      ASSERT_TRUE(flushed.count(t)) << "TF=" << tf << " passed unflushed txn " << t;
+    }
+  }
+  EXPECT_EQ(tracker.advance(kNoTimestamp), kTxns);
+  EXPECT_EQ(tracker.in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlushTrackerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 99, 12345));
+
+TEST(ExactFlushReporterTest, DrainReturnsAllFlushedSinceLastHeartbeat) {
+  ExactFlushReporter reporter;
+  reporter.on_flushed(3);
+  reporter.on_flushed(1);
+  auto batch = reporter.drain();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(reporter.drain().empty());
+  EXPECT_EQ(ExactFlushReporter::payload_bytes(batch), 2 * sizeof(Timestamp));
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,166 @@
+// Recovery-manager threshold maintenance (Algorithms 2 & 4): global TF/TP
+// aggregation, publication, log truncation at the checkpoint, and RM restart.
+#include "src/recovery/recovery_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+class RecoveryManagerTest : public ::testing::Test {
+ protected:
+  RecoveryManagerTest() : bed_(fast_test_config(2, 2)) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("t", 1000, 4).is_ok());
+  }
+
+  Timestamp commit_one(TxnClient& client, const std::string& row) {
+    Transaction txn = client.begin("t");
+    txn.put(row, "c", "v");
+    auto ts = txn.commit();
+    EXPECT_TRUE(ts.is_ok());
+    return ts.value_or(kNoTimestamp);
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(RecoveryManagerTest, PublishesThresholdsToCoord) {
+  bed_.rm().refresh_now();
+  EXPECT_TRUE(bed_.coord().get(kTfPath).has_value());
+  EXPECT_TRUE(bed_.coord().get(kTpPath).has_value());
+}
+
+TEST_F(RecoveryManagerTest, TfFollowsClientFlushes) {
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(1));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(ts));
+  EXPECT_GE(bed_.rm().global_tf(), ts);
+}
+
+TEST_F(RecoveryManagerTest, TpNeverExceedsTf) {
+  for (int i = 0; i < 20; ++i) commit_one(bed_.client(i % 2), Testbed::row_key(i));
+  for (int iter = 0; iter < 50; ++iter) {
+    bed_.rm().refresh_now();
+    EXPECT_LE(bed_.rm().global_tp(), bed_.rm().global_tf());
+    sleep_millis(1);
+  }
+}
+
+TEST_F(RecoveryManagerTest, TpAdvancesAfterServerHeartbeats) {
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(1));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(ts));
+  // Drive server heartbeats (persist + TP advance) and RM polls until the
+  // global TP catches up.
+  const Micros deadline = now_micros() + seconds(5);
+  while (bed_.rm().global_tp() < ts && now_micros() < deadline) {
+    bed_.cluster().server(0).heartbeat_now();
+    bed_.cluster().server(1).heartbeat_now();
+    bed_.rm().refresh_now();
+    sleep_millis(1);
+  }
+  EXPECT_GE(bed_.rm().global_tp(), ts);
+}
+
+TEST_F(RecoveryManagerTest, LogTruncatedAtCheckpoint) {
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(1));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(ts));
+  const Micros deadline = now_micros() + seconds(5);
+  while (bed_.rm().global_tp() < ts && now_micros() < deadline) {
+    bed_.cluster().server(0).heartbeat_now();
+    bed_.cluster().server(1).heartbeat_now();
+    bed_.rm().refresh_now();
+    sleep_millis(1);
+  }
+  ASSERT_GE(bed_.rm().global_tp(), ts);
+  // The checkpoint passed ts: the write-set is gone from the recovery log.
+  EXPECT_TRUE(bed_.tm().log().fetch_after(0).empty());
+}
+
+TEST_F(RecoveryManagerTest, TruncationIsSafeNothingBelowTpIsNeeded) {
+  // Invariant 3 of DESIGN.md: every write-set the log has dropped is fully
+  // persisted — crash a server right after truncation and verify nothing is
+  // lost even though the log cannot replay the truncated prefix.
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(1));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(ts));
+  const Micros deadline = now_micros() + seconds(5);
+  while (bed_.rm().global_tp() < ts && now_micros() < deadline) {
+    bed_.cluster().server(0).heartbeat_now();
+    bed_.cluster().server(1).heartbeat_now();
+    bed_.rm().refresh_now();
+    sleep_millis(1);
+  }
+  ASSERT_GE(bed_.rm().global_tp(), ts);
+
+  bed_.crash_server(0);
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+
+  Transaction txn = bed_.client(1).begin("t");
+  auto value = txn.get(Testbed::row_key(1), "c");
+  ASSERT_TRUE(value.is_ok());
+  ASSERT_TRUE(value.value().has_value());
+  EXPECT_EQ(*value.value(), "v");
+  txn.abort();
+}
+
+TEST_F(RecoveryManagerTest, IdleClientDoesNotBlockTf) {
+  // client(1) never commits anything; TF must still follow client(0).
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(2));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  EXPECT_TRUE(bed_.wait_stable(ts)) << "idle client 1 blocked TF";
+}
+
+TEST_F(RecoveryManagerTest, CleanClientCloseReleasesTf) {
+  auto extra = bed_.add_client();
+  ASSERT_TRUE(extra.is_ok());
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(3));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(extra.value()->close().is_ok());
+  EXPECT_TRUE(bed_.wait_stable(ts));
+}
+
+TEST_F(RecoveryManagerTest, RestartRecoversStateFromCoord) {
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(4));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(ts));
+  const Timestamp tf_before = bed_.rm().global_tf();
+
+  bed_.restart_recovery_manager();
+
+  // The restarted RM adopts the published thresholds (no regression).
+  EXPECT_GE(bed_.rm().global_tf(), tf_before);
+
+  // And processing continues: new commits flow and TF keeps advancing.
+  const Timestamp ts2 = commit_one(bed_.client(0), Testbed::row_key(5));
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  EXPECT_TRUE(bed_.wait_stable(ts2));
+}
+
+TEST_F(RecoveryManagerTest, ProcessingContinuesWhileRmIsDown) {
+  // §3.3: transaction processing can continue while the RM is down.
+  // Simulate by simply not letting the RM poll (it is stopped), committing,
+  // then restarting it.
+  bed_.rm().stop();
+  const Timestamp ts = commit_one(bed_.client(0), Testbed::row_key(6));
+  EXPECT_GT(ts, 0);
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  bed_.restart_recovery_manager();
+  EXPECT_TRUE(bed_.wait_stable(ts));
+}
+
+TEST_F(RecoveryManagerTest, StatsCountRefreshes) {
+  bed_.rm().refresh_now();
+  bed_.rm().refresh_now();
+  EXPECT_GE(bed_.rm().stats().threshold_refreshes, 2);
+}
+
+}  // namespace
+}  // namespace tfr

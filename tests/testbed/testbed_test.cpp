@@ -1,0 +1,87 @@
+#include "src/testbed/testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+TEST(TestbedHelpersTest, RowKeysAreFixedWidthAndOrdered) {
+  EXPECT_EQ(Testbed::row_key(0), "user0000000000");
+  EXPECT_EQ(Testbed::row_key(42), "user0000000042");
+  EXPECT_LT(Testbed::row_key(9), Testbed::row_key(10));  // zero-padding keeps order
+  EXPECT_LT(Testbed::row_key(999), Testbed::row_key(1000));
+}
+
+TEST(TestbedHelpersTest, SplitKeysAreEvenAndSorted) {
+  auto keys = Testbed::split_keys(1000, 4);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], Testbed::row_key(250));
+  EXPECT_EQ(keys[1], Testbed::row_key(500));
+  EXPECT_EQ(keys[2], Testbed::row_key(750));
+  EXPECT_TRUE(Testbed::split_keys(100, 1).empty());
+}
+
+TEST(TestbedTest, StartCreatesClientsAndPublishesThresholds) {
+  Testbed bed(fast_test_config(2, 3));
+  ASSERT_TRUE(bed.start().is_ok());
+  EXPECT_EQ(bed.num_clients(), 3);
+  EXPECT_TRUE(bed.has_rm());
+  bed.rm().refresh_now();
+  EXPECT_TRUE(bed.coord().get(kTfPath).has_value());
+  EXPECT_TRUE(bed.coord().get(kTpPath).has_value());
+}
+
+TEST(TestbedTest, LoadRowsMakesDataReadable) {
+  Testbed bed(fast_test_config(1, 1));
+  ASSERT_TRUE(bed.start().is_ok());
+  ASSERT_TRUE(bed.create_table("t", 100, 2).is_ok());
+  ASSERT_TRUE(bed.load_rows("t", 100, 8).is_ok());
+  ASSERT_TRUE(bed.wait_stable(bed.tm().current_ts()));
+  Transaction r = bed.client().begin("t");
+  auto cells = r.scan("", "", 0);
+  ASSERT_TRUE(cells.is_ok());
+  EXPECT_EQ(cells.value().size(), 100u);
+  r.abort();
+}
+
+TEST(TestbedTest, FlushAllMemstoresWritesStoreFiles) {
+  Testbed bed(fast_test_config(2, 1));
+  ASSERT_TRUE(bed.start().is_ok());
+  ASSERT_TRUE(bed.create_table("t", 100, 4).is_ok());
+  ASSERT_TRUE(bed.load_rows("t", 100, 8).is_ok());
+  ASSERT_TRUE(bed.flush_all_memstores().is_ok());
+  EXPECT_FALSE(bed.dfs().list("/data/").empty());
+}
+
+TEST(TestbedTest, WarmCachePopulatesBlockCaches) {
+  Testbed bed(fast_test_config(1, 1));
+  ASSERT_TRUE(bed.start().is_ok());
+  ASSERT_TRUE(bed.create_table("t", 200, 2).is_ok());
+  ASSERT_TRUE(bed.load_rows("t", 200, 8).is_ok());
+  ASSERT_TRUE(bed.flush_all_memstores().is_ok());
+  ASSERT_TRUE(bed.warm_cache("t", 200).is_ok());
+  EXPECT_GT(bed.cluster().server(0).block_cache().stats().bytes, 0);
+}
+
+TEST(TestbedTest, DisabledRecoveryRunsWithoutMiddleware) {
+  TestbedConfig cfg = fast_test_config(1, 1);
+  cfg.enable_recovery = false;
+  Testbed bed(cfg);
+  ASSERT_TRUE(bed.start().is_ok());
+  EXPECT_FALSE(bed.has_rm());
+  ASSERT_TRUE(bed.create_table("t", 100, 1).is_ok());
+  Transaction txn = bed.client().begin("t");
+  txn.put("k", "c", "v");
+  EXPECT_TRUE(txn.commit().is_ok());
+  EXPECT_TRUE(bed.client().wait_flushed());
+}
+
+TEST(TestbedTest, WaitStableTimesOutWhenBlocked) {
+  Testbed bed(fast_test_config(1, 1));
+  ASSERT_TRUE(bed.start().is_ok());
+  // Nothing will ever reach timestamp 10^9.
+  EXPECT_FALSE(bed.wait_stable(1'000'000'000, millis(100)));
+}
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,135 @@
+// YCSB driver mechanics: pacing, event scheduling, series capture, abort
+// accounting.
+#include "src/ycsb/driver.h"
+
+#include <gtest/gtest.h>
+
+namespace tfr {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() : bed_(fast_test_config(1, 1)) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("usertable", kRows, 2).is_ok());
+    ASSERT_TRUE(bed_.load_rows("usertable", kRows, 16).is_ok());
+  }
+
+  static constexpr std::uint64_t kRows = 200;
+  Testbed bed_;
+};
+
+TEST_F(DriverTest, ClosedLoopProducesThroughput) {
+  WorkloadConfig w;
+  w.num_rows = kRows;
+  w.ops_per_txn = 2;
+  DriverConfig d;
+  d.threads = 4;
+  d.duration = millis(500);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  EXPECT_GT(report.committed, 50u);
+  EXPECT_GT(report.throughput_tps, 0);
+  EXPECT_GT(report.mean_latency_ms, 0);
+  EXPECT_LE(report.p50_latency_ms, report.p99_latency_ms);
+  EXPECT_NEAR(report.wall_seconds, 0.5, 0.3);
+}
+
+TEST_F(DriverTest, OpenLoopPacesToTarget) {
+  WorkloadConfig w;
+  w.num_rows = kRows;
+  w.ops_per_txn = 2;
+  DriverConfig d;
+  d.threads = 4;
+  d.target_tps = 50;
+  d.duration = seconds(2);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  EXPECT_NEAR(report.throughput_tps, 50.0, 20.0);
+}
+
+TEST_F(DriverTest, ScheduledEventsFireAtOffset) {
+  WorkloadConfig w;
+  w.num_rows = kRows;
+  DriverConfig d;
+  d.threads = 2;
+  d.duration = millis(400);
+  YcsbDriver driver(bed_, w, d);
+  std::atomic<Micros> fired_at{-1};
+  const Micros t0 = now_micros();
+  driver.schedule(millis(100), "marker", [&] { fired_at = now_micros() - t0; });
+  (void)driver.run();
+  ASSERT_GE(fired_at.load(), millis(100));
+  EXPECT_LT(fired_at.load(), millis(350));
+}
+
+TEST_F(DriverTest, SeriesCoversTheRun) {
+  WorkloadConfig w;
+  w.num_rows = kRows;
+  DriverConfig d;
+  d.threads = 2;
+  d.duration = millis(600);
+  d.series_interval = millis(200);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  ASSERT_GE(report.series.size(), 2u);
+  double total = 0;
+  for (const auto& p : report.series) total += p.throughput * 0.2;
+  EXPECT_NEAR(total, static_cast<double>(report.committed),
+              static_cast<double>(report.committed) * 0.2 + 10);
+}
+
+class CoreWorkloadTest : public DriverTest,
+                         public ::testing::WithParamInterface<char> {};
+
+TEST_P(CoreWorkloadTest, RunsCleanly) {
+  WorkloadConfig w = ycsb_core_workload(GetParam(), kRows);
+  DriverConfig d;
+  d.threads = 4;
+  d.duration = millis(400);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  EXPECT_GT(report.committed, 5u) << "workload " << GetParam();
+  EXPECT_EQ(report.errors, 0u) << "workload " << GetParam();
+  EXPECT_TRUE(bed_.client().wait_flushed(seconds(60)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, CoreWorkloadTest,
+                         ::testing::Values('a', 'b', 'c', 'd', 'e', 'f'));
+
+TEST_F(DriverTest, InsertWorkloadGrowsTheTable) {
+  WorkloadConfig w = ycsb_core_workload('d', kRows);
+  DriverConfig d;
+  d.threads = 2;
+  d.duration = millis(400);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  ASSERT_TRUE(bed_.client().wait_flushed(seconds(60)));
+  ASSERT_TRUE(bed_.wait_stable(bed_.tm().current_ts()));
+  // Some inserted row beyond the initial keyspace is readable.
+  Transaction txn = bed_.client().begin("usertable");
+  auto cells = txn.scan(Testbed::row_key(kRows), "", 1);
+  txn.abort();
+  ASSERT_TRUE(cells.is_ok());
+  if (report.committed > 20) {
+    EXPECT_FALSE(cells.value().empty()) << "no inserts landed beyond the initial rows";
+  }
+}
+
+TEST_F(DriverTest, ZipfianDistributionCausesConflictsNotErrors) {
+  WorkloadConfig w;
+  w.num_rows = 20;  // tiny keyspace -> heavy contention
+  w.distribution = KeyDistribution::kZipfian;
+  DriverConfig d;
+  d.threads = 8;
+  d.duration = millis(400);
+  YcsbDriver driver(bed_, w, d);
+  auto report = driver.run();
+  EXPECT_GT(report.aborted, 0u) << "contention should cause SI aborts";
+  EXPECT_EQ(report.errors, 0u);
+}
+
+}  // namespace
+}  // namespace tfr
