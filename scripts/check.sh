@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: configure, build, and run the full test suite —
+# optionally under a sanitizer.
+#
+# Usage:
+#   scripts/check.sh                     # plain RelWithDebInfo build + ctest
+#   TFR_SANITIZE=address scripts/check.sh
+#   TFR_SANITIZE=thread  scripts/check.sh
+#
+# Each sanitizer gets its own build directory (build-asan, build-tsan, ...)
+# so switching back and forth never forces a full reconfigure.
+#
+# Known issue (see TESTING.md): with gcc 12's libtsan, integration_tests
+# SEGVs inside the sanitizer's own interceptors before running any test; the
+# other three binaries are clean under TSan. check.sh therefore skips
+# integration_tests when TFR_SANITIZE=thread.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${TFR_SANITIZE:-}"
+case "$SAN" in
+  "") BUILD_DIR=build ;;
+  address) BUILD_DIR=build-asan ;;
+  thread) BUILD_DIR=build-tsan ;;
+  undefined) BUILD_DIR=build-ubsan ;;
+  *)
+    echo "unsupported TFR_SANITIZE='$SAN' (use address, thread, or undefined)" >&2
+    exit 2
+    ;;
+esac
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [ -n "$SAN" ]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug "-DTFR_SANITIZE=$SAN")
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+if [ "$SAN" = thread ]; then
+  echo "note: skipping integration_tests under TSan (gcc-12 libtsan artifact, see TESTING.md)"
+  for t in common_tests storage_tests txn_recovery_tests; do
+    "$BUILD_DIR/tests/$t"
+  done
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+fi
+echo "check OK${SAN:+ (sanitizer: $SAN)}"

@@ -2,7 +2,7 @@
 # Run every paper-reproduction benchmark sequentially and collect the output.
 # Usage: scripts/run_benches.sh [build-dir] [output-file]
 # Honour TFR_BENCH_SCALE (e.g. 0.3) for quicker smoke runs.
-set -u
+set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
 
@@ -10,7 +10,15 @@ OUT="${2:-bench_output.txt}"
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $(basename "$b")" | tee -a "$OUT"
-  "$b" 2>&1 | tee -a "$OUT"
+  # tee would mask a failing bench's exit status; check the pipe explicitly
+  # so a crash or assertion aborts the whole run (with a pointer to the
+  # culprit) instead of being buried in the middle of the output file. The
+  # || guard keeps set -e from exiting before the diagnostic prints.
+  "$b" 2>&1 | tee -a "$OUT" || {
+    status=("${PIPESTATUS[@]}")
+    echo "FAILED: $(basename "$b") exited ${status[0]} (tee: ${status[1]})" >&2
+    exit 1
+  }
   echo | tee -a "$OUT"
 done
 echo "wrote $OUT"

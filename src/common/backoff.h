@@ -1,0 +1,75 @@
+// Backoff — the one retry-delay policy shared by every retry loop in the
+// system (the client flush/read/scan paths, and any future retrier).
+//
+// The seed repo had three copy-pasted deterministic-doubling loops in the KV
+// client; because every client doubled from the same base with no jitter,
+// all the clients hammering a recovering region woke up in lockstep and
+// re-collided on every retry round (a synchronized retry storm). This policy
+// uses capped exponential backoff with *full jitter*: attempt n sleeps a
+// uniformly random duration in (0, min(cap, base << n)], which provably
+// de-correlates concurrent retriers (see the AWS architecture blog's
+// "Exponential Backoff And Jitter" analysis).
+//
+// The sleep is sliced so a cancellation flag (a dying client) is observed
+// within ~1 ms instead of after a full capped interval.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace tfr {
+
+class Backoff {
+ public:
+  /// `base`: mean of the first interval; `cap`: upper bound on any interval.
+  /// Each instance gets its own PRNG stream so concurrent retriers draw
+  /// independent jitter.
+  Backoff(Micros base, Micros cap)
+      : base_(base > 0 ? base : 1), cap_(cap > base ? cap : base_), rng_(next_seed()) {}
+
+  /// Sleep for the next jittered interval. Returns false (immediately, or
+  /// mid-sleep within ~1 ms) if `cancel` becomes true, true otherwise.
+  bool sleep(const std::atomic<bool>* cancel = nullptr) {
+    Micros remaining = next_interval();
+    while (remaining > 0) {
+      if (cancel && cancel->load(std::memory_order_acquire)) return false;
+      const Micros slice = remaining < millis(1) ? remaining : millis(1);
+      sleep_micros(slice);
+      remaining -= slice;
+    }
+    return !(cancel && cancel->load(std::memory_order_acquire));
+  }
+
+  /// The next interval without sleeping (also advances the attempt count).
+  /// Full jitter: uniform in (0, min(cap, base * 2^attempt)].
+  Micros next_interval() {
+    Micros ceiling = base_;
+    // Shift without overflow: stop doubling once the cap is reached.
+    for (int i = 0; i < attempt_ && ceiling < cap_; ++i) ceiling *= 2;
+    if (ceiling > cap_) ceiling = cap_;
+    ++attempt_;
+    return 1 + static_cast<Micros>(rng_.next_below(static_cast<std::uint64_t>(ceiling)));
+  }
+
+  int attempts() const { return attempt_; }
+
+  /// Start over from the base interval (after a success).
+  void reset() { attempt_ = 0; }
+
+ private:
+  static std::uint64_t next_seed() {
+    // Distinct, reproducible-per-process stream per instance.
+    static std::atomic<std::uint64_t> counter{0};
+    return hash64(0x9e3779b97f4a7c15ULL ^ counter.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  Micros base_;
+  Micros cap_;
+  int attempt_ = 0;
+  Rng rng_;
+};
+
+}  // namespace tfr

@@ -1,0 +1,127 @@
+#include "src/common/fault.h"
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+
+namespace tfr {
+
+std::string_view fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRpcApply: return "rpc_apply";
+    case FaultOp::kRpcGet: return "rpc_get";
+    case FaultOp::kRpcScan: return "rpc_scan";
+    case FaultOp::kDfsSync: return "dfs_sync";
+    case FaultOp::kDfsRead: return "dfs_read";
+  }
+  return "unknown";
+}
+
+namespace {
+bool target_matches(const std::string& rule_target, std::string_view target) {
+  return rule_target.empty() ||
+         target.compare(0, rule_target.size(), rule_target) == 0;
+}
+}  // namespace
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  seed_ = seed;
+  rng_ = Rng(seed);
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard lock(mutex_);
+  return seed_;
+}
+
+int FaultInjector::add_rule(FaultRule rule) {
+  int id;
+  {
+    std::lock_guard lock(mutex_);
+    rules_.push_back(std::move(rule));
+    id = static_cast<int>(rules_.size());
+  }
+  set_enabled(true);
+  return id;
+}
+
+void FaultInjector::clear_rules() {
+  set_enabled(false);
+  std::lock_guard lock(mutex_);
+  rules_.clear();
+}
+
+FaultAction FaultInjector::inject(FaultOp op, std::string_view target) {
+  FaultAction action;
+  if (!enabled()) return action;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& rule : rules_) {
+      if (rule.op != op || !target_matches(rule.target, target)) continue;
+      ++stats_.evaluations;
+      if (rule.fail_next > 0) {
+        --rule.fail_next;
+        action.fail = true;
+      }
+      if (!action.fail && rule.error_probability > 0 &&
+          rng_.next_bool(rule.error_probability)) {
+        action.fail = true;
+      }
+      if (op == FaultOp::kRpcApply) {
+        if (rule.drop_response_probability > 0 &&
+            rng_.next_bool(rule.drop_response_probability)) {
+          action.drop_response = true;
+        }
+        if (rule.corrupt_probability > 0 && rng_.next_bool(rule.corrupt_probability)) {
+          action.corrupt_wire = true;
+        }
+      }
+      if (rule.delay > 0 && rule.delay_probability > 0 &&
+          rng_.next_bool(rule.delay_probability)) {
+        action.delayed += rule.delay;
+      }
+    }
+    if (action.fail) ++stats_.injected_errors;
+    if (action.drop_response) ++stats_.dropped_responses;
+    if (action.corrupt_wire) ++stats_.corrupted_wires;
+    if (action.delayed > 0) {
+      ++stats_.injected_delays;
+      stats_.delay_micros += action.delayed;
+    }
+  }
+  // Mirror into the process-wide counters (static refs: one registry lookup
+  // per process, then a relaxed atomic add).
+  static Counter& errors = global_counter("fault.injected_errors");
+  static Counter& drops = global_counter("fault.dropped_responses");
+  static Counter& corruptions = global_counter("fault.corrupted_wires");
+  static Counter& delays = global_counter("fault.injected_delays");
+  if (action.fail) errors.add();
+  if (action.drop_response) drops.add();
+  if (action.corrupt_wire) corruptions.add();
+  if (action.delayed > 0) {
+    delays.add();
+    sleep_micros(action.delayed);  // the injected latency, outside the lock
+  }
+  return action;
+}
+
+Status FaultInjector::check(FaultOp op, std::string_view target) {
+  const FaultAction action = inject(op, target);
+  if (action.fail || action.drop_response) {
+    return Status::unavailable("injected " + std::string(fault_op_name(op)) + " fault on " +
+                               std::string(target));
+  }
+  return Status::ok();
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void FaultInjector::reset_stats() {
+  std::lock_guard lock(mutex_);
+  stats_ = FaultStats{};
+}
+
+}  // namespace tfr

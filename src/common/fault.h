@@ -1,0 +1,141 @@
+// FaultInjector — a seeded, deterministic fault-injection layer for the two
+// I/O boundaries of the system: the client <-> region-server RPC path and
+// the DFS. The paper's testbed only supports clean crash-fail faults; the
+// chaos tests layer *gray* failures underneath them — transient RPC errors,
+// dropped responses, corrupted frames, and slow or failing DFS syncs — which
+// is exactly the regime where the threshold tracking (Algorithms 1-4) and
+// the unbounded-retry flush path (§3.2) are most likely to break.
+//
+// Design:
+//  * Rules match an operation kind plus a target prefix (a server id such as
+//    "rs2", or a DFS path prefix such as "/wal/"). An empty target matches
+//    everything.
+//  * Each matching call draws from a single seeded PRNG, so a failing chaos
+//    schedule is replayable from its seed (modulo thread interleaving; the
+//    *schedule* — which rules exist, which nodes crash, when — is fully
+//    deterministic from the seed).
+//  * Disabled-path cost is one relaxed atomic load; with no injector
+//    installed the boundaries pay a single branch on a plain pointer. The
+//    default path through benches is therefore unchanged.
+//  * Everything injected is counted, both locally (stats()) and in the
+//    process-wide metrics registry ("fault.*" counters), so tests can assert
+//    that a schedule actually exercised the paths it meant to.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace tfr {
+
+/// The injectable operation kinds, one per instrumented I/O boundary.
+enum class FaultOp {
+  kRpcApply,  // RegionServer::apply_writeset
+  kRpcGet,    // RegionServer::get
+  kRpcScan,   // RegionServer::scan
+  kDfsSync,   // Dfs::sync (per path)
+  kDfsRead,   // Dfs::read (per path)
+};
+
+std::string_view fault_op_name(FaultOp op);
+
+/// One fault rule. All probabilities are drawn independently per call.
+struct FaultRule {
+  FaultOp op = FaultOp::kRpcApply;
+
+  /// Server id ("rs1") or DFS path prefix ("/wal/"); empty matches all.
+  std::string target;
+
+  /// Probability that the call fails with a transient Unavailable before the
+  /// operation takes effect (a lost request).
+  double error_probability = 0;
+
+  /// Probability that the operation *succeeds* server-side but its response
+  /// is reported lost (the caller sees Unavailable and retries — this is the
+  /// schedule that exercises idempotent replay). Only meaningful for
+  /// kRpcApply; ignored elsewhere.
+  double drop_response_probability = 0;
+
+  /// Probability that the request frame is corrupted on the wire (one bit
+  /// flip before decode). Only meaningful for kRpcApply.
+  double corrupt_probability = 0;
+
+  /// Added latency: with probability delay_probability, sleep `delay` (the
+  /// slow-sync / slow-read "gray failure").
+  double delay_probability = 0;
+  Micros delay = 0;
+
+  /// One-shot trigger: fail the next `fail_next` matching calls with
+  /// Unavailable (counts down; independent of error_probability).
+  int fail_next = 0;
+};
+
+/// What a single inject() call decided. The delay, if any, has already been
+/// slept by inject() itself.
+struct FaultAction {
+  bool fail = false;           ///< return Unavailable without doing the work
+  bool drop_response = false;  ///< do the work, then return Unavailable
+  bool corrupt_wire = false;   ///< flip a bit in the request frame
+  Micros delayed = 0;          ///< latency already injected
+};
+
+struct FaultStats {
+  std::int64_t evaluations = 0;       ///< matching-rule evaluations
+  std::int64_t injected_errors = 0;   ///< lost requests (incl. one-shot)
+  std::int64_t dropped_responses = 0;
+  std::int64_t corrupted_wires = 0;
+  std::int64_t injected_delays = 0;
+  Micros delay_micros = 0;            ///< total injected latency
+};
+
+/// Thread-safe. One instance per Cluster; shared by the DFS and every
+/// region server.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Reset the PRNG to a known seed (call before installing rules so the
+  /// whole schedule is a function of the seed).
+  void reseed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  /// Install a rule and enable the injector. Returns a rule id (unused for
+  /// now beyond debugging).
+  int add_rule(FaultRule rule);
+
+  /// Drop every rule and disable the injector; stats are kept.
+  void clear_rules();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Evaluate all rules matching (op, target). Sleeps any injected delay
+  /// before returning. When disabled this is one relaxed atomic load.
+  FaultAction inject(FaultOp op, std::string_view target);
+
+  /// Convenience wrapper for boundaries with no side effects between request
+  /// and response: returns Unavailable if either a lost request or a lost
+  /// response fired.
+  Status check(FaultOp op, std::string_view target);
+
+  FaultStats stats() const;
+  void reset_stats();
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  Rng rng_{0};
+  std::vector<FaultRule> rules_;
+  FaultStats stats_;
+};
+
+}  // namespace tfr

@@ -2,9 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <sstream>
 
 namespace tfr {
+
+namespace {
+struct CounterRegistry {
+  std::mutex mutex;
+  // unique_ptr gives each Counter a stable address across rehashing.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+CounterRegistry& registry() {
+  static CounterRegistry* r = new CounterRegistry();  // leaked: outlives all users
+  return *r;
+}
+}  // namespace
+
+Counter& global_counter(const std::string& name) {
+  CounterRegistry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> global_counter_snapshot() {
+  CounterRegistry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, counter] : r.counters) out.emplace_back(name, counter->get());
+  return out;
+}
+
+void reset_global_counters() {
+  CounterRegistry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& [name, counter] : r.counters) counter->reset();
+}
 
 Histogram::Histogram() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -101,5 +102,23 @@ class Counter {
  private:
   std::atomic<std::int64_t> value_{0};
 };
+
+// --- process-wide counter registry -------------------------------------------
+//
+// Fault injection and the client retry paths export their counts here so
+// tests and benches can assert on them without plumbing stats objects
+// through every layer. Counters are created on first use and their
+// addresses are stable for the life of the process, so hot paths can cache
+// the reference (`static Counter& c = global_counter("...")`) and pay only
+// a relaxed atomic add per event.
+
+/// The counter registered under `name`, created on first use. Thread-safe.
+Counter& global_counter(const std::string& name);
+
+/// (name, value) for every registered counter, sorted by name.
+std::vector<std::pair<std::string, std::int64_t>> global_counter_snapshot();
+
+/// Zero every registered counter (tests isolate themselves with this).
+void reset_global_counters();
 
 }  // namespace tfr

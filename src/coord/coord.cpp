@@ -141,6 +141,21 @@ std::optional<std::int64_t> Coord::get(const std::string& path) const {
   return it->second;
 }
 
+void Coord::erase(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  kv_.erase(path);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Coord::list(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
 void Coord::run_expiry_check() { expiry_scan(); }
 
 void Coord::expiry_scan() {

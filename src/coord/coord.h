@@ -96,6 +96,14 @@ class Coord {
   void put(const std::string& path, std::int64_t value);
   std::optional<std::int64_t> get(const std::string& path) const;
 
+  /// Delete a KV entry; no-op when absent.
+  void erase(const std::string& path);
+
+  /// All KV entries whose path starts with `prefix`, sorted by path. The
+  /// recovery manager uses this to reload its in-flight recovery markers
+  /// after a restart (§3.3).
+  std::vector<std::pair<std::string, std::int64_t>> list(const std::string& prefix) const;
+
   /// Force one expiry scan now (tests use this to avoid timing sleeps).
   void run_expiry_check();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace tfr {
@@ -48,6 +49,12 @@ Result<std::uint64_t> Dfs::sync(const std::string& path) {
     if (it == files_.end()) return Status::not_found("dfs sync: " + path);
     target = it->second.data.size();
     if (target == it->second.durable) return target;  // nothing to do, no charge
+  }
+  if (fault_ != nullptr) {
+    // Injected gray failure: a slow pipeline ack (delay, slept inside
+    // check()) or a transient sync error. Nothing was made durable; the
+    // caller retries and the durable frontier is unchanged.
+    TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kDfsSync, path));
   }
   sync_model_.charge();  // pipeline ack from `replication` datanodes
   std::lock_guard lock(mutex_);
@@ -98,6 +105,10 @@ bool Dfs::block_readable(const Block& b) const {
 }
 
 Result<std::string> Dfs::read(const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  if (fault_ != nullptr) {
+    // Injected transient read error (a flapping datanode) or slow read.
+    TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kDfsRead, path));
+  }
   int blocks_touched = 0;
   std::string out;
   {

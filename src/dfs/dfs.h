@@ -27,6 +27,8 @@
 
 namespace tfr {
 
+class FaultInjector;
+
 struct DfsConfig {
   int num_datanodes = 3;
   int replication = 2;              // the paper uses replication factor 2
@@ -93,6 +95,13 @@ class Dfs {
   DfsStats stats() const;
   const DfsConfig& config() const { return config_; }
 
+  /// Install a fault injector (see common/fault.h): sync() and read() then
+  /// consult it per call — transient Unavailable errors and added latency
+  /// (slow-sync / slow-read gray failures), matched by path prefix. Pass
+  /// nullptr to detach. Not synchronized with in-flight calls: install
+  /// before traffic starts, as the Cluster does.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   struct Block {
     std::vector<int> replicas;  // datanode ids
@@ -111,6 +120,7 @@ class Dfs {
   DfsConfig config_;
   LatencyModel sync_model_;
   LatencyModel read_model_;
+  FaultInjector* fault_ = nullptr;
 
   mutable std::mutex mutex_;
   std::map<std::string, File> files_;

@@ -7,10 +7,12 @@ namespace tfr {
 Cluster::Cluster(ClusterConfig config)
     : config_(config), dfs_(config.dfs), coord_(config.coord_check_interval),
       master_(dfs_, coord_) {
+  dfs_.set_fault_injector(&fault_);
   for (int i = 0; i < config_.num_servers; ++i) {
     servers_.push_back(
         std::make_unique<RegionServer>("rs" + std::to_string(i + 1), dfs_, coord_,
                                        config_.server));
+    servers_.back()->set_fault_injector(&fault_);
   }
 }
 
@@ -48,6 +50,7 @@ RegionServer* Cluster::server_by_id(const std::string& id) {
 Result<RegionServer*> Cluster::add_server() {
   auto server = std::make_unique<RegionServer>("rs" + std::to_string(servers_.size() + 1), dfs_,
                                                coord_, config_.server);
+  server->set_fault_injector(&fault_);
   if (server_setup_) server_setup_(*server);
   TFR_RETURN_IF_ERROR(server->start());
   master_.add_server(server.get());

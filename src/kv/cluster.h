@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/coord/coord.h"
 #include "src/dfs/dfs.h"
 #include "src/kv/master.h"
@@ -48,6 +49,11 @@ class Cluster {
   Coord& coord() { return coord_; }
   Master& master() { return master_; }
 
+  /// The cluster-wide fault injector, pre-installed into the DFS and every
+  /// region server (including ones added later). Disabled by default; add
+  /// rules to start injecting.
+  FaultInjector& fault() { return fault_; }
+
   int num_servers() const { return static_cast<int>(servers_.size()); }
   RegionServer& server(int i) { return *servers_.at(static_cast<std::size_t>(i)); }
   RegionServer* server_by_id(const std::string& id);
@@ -64,6 +70,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   std::function<void(RegionServer&)> server_setup_;
+  FaultInjector fault_;  // before dfs_/servers_: outlives everything that uses it
   Dfs dfs_;
   Coord coord_;
   Master master_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "src/common/backoff.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -20,8 +22,7 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
   // Track which mutations still need to be applied; a participant ack
   // covers all mutations that were in its slice.
   std::vector<Mutation> pending = ws.mutations;
-  Micros backoff = retry_backoff_;
-  int attempt = 0;
+  Backoff backoff(retry_backoff_, retry_backoff_ * 32);
 
   while (!pending.empty()) {
     if (cancel && cancel->load(std::memory_order_acquire)) {
@@ -70,16 +71,19 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
       if (pending.empty()) break;
     }
 
-    // Unlimited retries (§3.2): back off and try again; the region will come
-    // back online once recovery completes.
+    // Unlimited retries (§3.2): back off (with jitter, so clients re-flushing
+    // into a recovering region do not wake in lockstep) and try again; the
+    // region will come back online once recovery completes.
     flush_retries_.fetch_add(1, std::memory_order_relaxed);
-    ++attempt;
-    if (attempt % 200 == 0) {
+    static Counter& retries = global_counter("kv.flush_retries");
+    retries.add();
+    if (backoff.attempts() > 0 && backoff.attempts() % 200 == 0) {
       TFR_LOG(WARN, "kvclient") << ws.client_id << " still flushing txn " << ws.commit_ts
-                                << " after " << attempt << " retries";
+                                << " after " << backoff.attempts() << " retries";
     }
-    sleep_micros(backoff);
-    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+    if (!backoff.sleep(cancel)) {
+      return Status::closed("flush cancelled (client died)");
+    }
   }
   return Status::ok();
 }
@@ -87,7 +91,7 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
 Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::string& row,
                                           const std::string& column, Timestamp read_ts,
                                           int max_retries) {
-  Micros backoff = retry_backoff_;
+  Backoff backoff(retry_backoff_, retry_backoff_ * 32);
   for (int attempt = 0;; ++attempt) {
     auto loc = master_->locate(table, row);
     if (loc.is_ok()) {
@@ -103,15 +107,16 @@ Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::s
       return Status::unavailable("get retries exhausted for " + table + "/" + row);
     }
     read_retries_.fetch_add(1, std::memory_order_relaxed);
-    sleep_micros(backoff);
-    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+    static Counter& retries = global_counter("kv.read_retries");
+    retries.add();
+    backoff.sleep();
   }
 }
 
 Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::string& start,
                                          const std::string& end, Timestamp read_ts,
                                          std::size_t limit, int max_retries) {
-  Micros backoff = retry_backoff_;
+  Backoff backoff(retry_backoff_, retry_backoff_ * 32);
   for (int attempt = 0;; ++attempt) {
     auto loc = master_->locate(table, start);
     if (loc.is_ok()) {
@@ -165,8 +170,9 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
       return Status::unavailable("scan retries exhausted for " + table + "/" + start);
     }
     read_retries_.fetch_add(1, std::memory_order_relaxed);
-    sleep_micros(backoff);
-    backoff = std::min<Micros>(backoff * 2, retry_backoff_ * 32);
+    static Counter& retries = global_counter("kv.read_retries");
+    retries.add();
+    backoff.sleep();
   }
 }
 

@@ -28,7 +28,9 @@ struct KvClientStats {
 
 class KvClient {
  public:
-  /// `retry_backoff`: initial backoff between retries (doubles up to 32x).
+  /// `retry_backoff`: base of the jittered exponential backoff between
+  /// retries (full jitter, ceiling doubling per attempt, capped at 32x —
+  /// see common/backoff.h).
   explicit KvClient(Master& master, Micros retry_backoff = millis(5));
 
   /// Flush a committed write-set to all participant servers. Retries

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/backoff.h"
 #include "src/common/logging.h"
 
 namespace tfr {
@@ -34,7 +35,11 @@ void Master::add_server(RegionServer* server) {
 }
 
 void Master::set_hooks(MasterHooks* hooks) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // Quiesce: the recovery worker snapshots hooks_ before calling into it, so
+  // wait out any in-flight invocation before letting the caller retire the
+  // old hooks object.
+  idle_cv_.wait(lock, [&] { return hook_calls_in_flight_ == 0; });
   hooks_ = hooks;
 }
 
@@ -259,6 +264,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       if (loc.server_id == server_id) affected.push_back(loc);
     }
     hooks = hooks_;
+    if (hooks != nullptr) ++hook_calls_in_flight_;
     wal_path = server_wal_paths_[server_id];
   }
 
@@ -268,19 +274,36 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
   // Notify the recovery middleware *before* regions start coming back
   // (it snapshots TP(s) for the replay bound).
   if (hooks && crashed) hooks->on_server_failure(server_id, region_names);
+  if (hooks != nullptr) {
+    std::lock_guard lock(mutex_);
+    --hook_calls_in_flight_;
+    idle_cv_.notify_all();
+  }
 
   // HBase log splitting: group the failed server's durable WAL records by
   // region (§2.1). Clean shutdowns flushed their memstores, so their edits
   // are redundant — replaying them anyway is idempotent and exercises the
-  // same path.
+  // same path. A split failure here would silently drop *durable* edits, so
+  // retry through transient DFS errors before giving up.
   std::map<std::string, std::vector<WalRecord>> edits;
   if (!wal_path.empty()) {
-    auto split = Wal::split(*dfs_, wal_path);
-    if (!split.is_ok() && !split.status().is_not_found()) {
-      TFR_LOG(ERROR, "master") << "WAL split failed for " << server_id << ": "
-                               << split.status();
-    } else if (split.is_ok()) {
-      edits = std::move(split).value();
+    Backoff backoff(millis(1), millis(64));
+    for (;;) {
+      auto split = Wal::split(*dfs_, wal_path);
+      if (split.is_ok()) {
+        edits = std::move(split).value();
+        break;
+      }
+      if (split.status().is_not_found()) break;  // server never wrote a WAL
+      if (backoff.attempts() >= 20) {
+        TFR_LOG(ERROR, "master") << "WAL split failed for " << server_id << ": "
+                                 << split.status() << "; giving up after "
+                                 << backoff.attempts() << " attempts";
+        break;
+      }
+      TFR_LOG(WARN, "master") << "WAL split failed for " << server_id << ": "
+                              << split.status() << "; retrying";
+      backoff.sleep();
     }
   }
 

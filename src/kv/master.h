@@ -91,6 +91,9 @@ class Master {
 
   std::vector<std::string> live_servers() const;
 
+  /// Install (or clear, with nullptr) the recovery-middleware hooks. Blocks
+  /// until no hook invocation is in flight, so after it returns the previous
+  /// hooks object can be safely destroyed (the RM restart path swaps it).
   void set_hooks(MasterHooks* hooks);
 
   /// Block until no failure recovery is in flight (test/bench helper).
@@ -111,6 +114,7 @@ class Master {
   std::map<std::string, RegionLocation> assignment_;       // region name -> location
   std::map<std::string, std::string> server_wal_paths_;
   MasterHooks* hooks_ = nullptr;
+  int hook_calls_in_flight_ = 0;
   int in_flight_recoveries_ = 0;
   mutable std::condition_variable idle_cv_;
 

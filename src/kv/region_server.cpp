@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace tfr {
@@ -153,11 +154,27 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
   // Marshal the request exactly as a real RPC stack would: the server only
   // ever sees the decoded wire bytes, and their size is charged against the
   // network bandwidth on top of the per-RPC latency.
-  const std::string wire = encode_apply_request(request);
+  std::string wire = encode_apply_request(request);
   rpc_model_.charge();
   sleep_micros(transfer_micros(wire.size(), config_.network_mbps));
+  bool drop_response = false;
+  if (fault_ != nullptr) {
+    const FaultAction action = fault_->inject(FaultOp::kRpcApply, id_);
+    if (action.fail) {
+      // The request was lost on the wire; nothing reached the server.
+      return Status::unavailable("injected fault: request to " + id_ + " lost");
+    }
+    if (action.corrupt_wire) wire[wire.size() / 2] ^= 0x20;
+    drop_response = action.drop_response;
+  }
   auto decoded = decode_apply_request(wire);
-  if (!decoded.is_ok()) return decoded.status();
+  if (!decoded.is_ok()) {
+    // A damaged request frame is a transport failure, not a store error: the
+    // server NAKs and the client retransmits the slice (reapplication is
+    // idempotent), so surface it as retryable.
+    return Status::unavailable("request frame rejected by " + id_ + ": " +
+                               decoded.status().message());
+  }
   const ApplyRequest& req = decoded.value();
 
   if (!alive()) return Status::unavailable("server down: " + id_);
@@ -223,6 +240,12 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
     observer = writeset_observer_;
   }
   if (observer) observer(req.commit_ts, req.piggyback_tp);
+  if (drop_response) {
+    // The write-set IS received (WAL-appended, applied, observed) but the
+    // ack never reaches the client, which re-sends — exercising idempotent
+    // reapplication (§3.2).
+    return Status::unavailable("injected fault: response from " + id_ + " dropped");
+  }
   return Status::ok();
 }
 
@@ -230,6 +253,9 @@ Result<std::optional<Cell>> RegionServer::get(const std::string& table, const st
                                               const std::string& column, Timestamp read_ts) {
   rpc_model_.charge();
   sleep_micros(transfer_micros(get_request_wire_size(table, row, column), config_.network_mbps));
+  if (fault_ != nullptr) {
+    TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kRpcGet, id_));
+  }
   if (!alive()) return Status::unavailable("server down: " + id_);
   auto result = [&]() -> Result<std::optional<Cell>> {
     SemaphoreGuard slot(handlers_);
@@ -255,6 +281,9 @@ Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std
                                              const std::string& end, Timestamp read_ts,
                                              std::size_t limit) {
   rpc_model_.charge();
+  if (fault_ != nullptr) {
+    TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kRpcScan, id_));
+  }
   if (!alive()) return Status::unavailable("server down: " + id_);
   SemaphoreGuard slot(handlers_);
   if (!alive()) return Status::unavailable("server down: " + id_);

@@ -40,6 +40,8 @@
 
 namespace tfr {
 
+class FaultInjector;
+
 struct RegionServerConfig {
   int handler_slots = 16;
 
@@ -180,6 +182,13 @@ class RegionServer {
   Wal& wal() { return *wal_; }
   BlockCache& block_cache() { return cache_; }
 
+  /// Install a fault injector (see common/fault.h): apply_writeset / get /
+  /// scan then consult it per RPC, matched against this server's id —
+  /// transient request loss, dropped acks, wire bit-flips and added latency.
+  /// Pass nullptr to detach. Not synchronized with in-flight RPCs: install
+  /// before traffic starts, as the Cluster does.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
   /// Force one heartbeat now (tests use this instead of waiting).
   void heartbeat_now() { heartbeat_tick(); }
 
@@ -201,6 +210,7 @@ class RegionServer {
   Dfs* dfs_;
   Coord* coord_;
   RegionServerConfig config_;
+  FaultInjector* fault_ = nullptr;
 
   std::atomic<bool> alive_{false};
   std::unique_ptr<Wal> wal_;

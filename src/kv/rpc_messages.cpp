@@ -1,6 +1,7 @@
 #include "src/kv/rpc_messages.h"
 
 #include "src/common/codec.h"
+#include "src/common/crc32.h"
 
 namespace tfr {
 
@@ -16,10 +17,22 @@ std::string encode_apply_request(const ApplyRequest& req) {
   enc.put_u8(req.piggyback_tp.has_value() ? 1 : 0);
   if (req.piggyback_tp) enc.put_i64(*req.piggyback_tp);
   enc.put_u8(req.recovery_replay ? 1 : 0);
+  // Frame checksum: a bit flipped in transit must surface as Corruption, not
+  // decode into silently wrong mutations (write-sets carry user data).
+  enc.put_u32(crc32c(out));
   return out;
 }
 
 Result<ApplyRequest> decode_apply_request(std::string_view wire) {
+  if (wire.size() < 4) return Status::corruption("ApplyRequest frame too short");
+  {
+    std::uint32_t expected = 0;
+    std::memcpy(&expected, wire.data() + wire.size() - 4, 4);
+    if (crc32c(wire.substr(0, wire.size() - 4)) != expected) {
+      return Status::corruption("ApplyRequest frame checksum mismatch");
+    }
+  }
+  wire.remove_suffix(4);
   Decoder dec(wire);
   ApplyRequest req;
   TFR_RETURN_IF_ERROR(dec.get_u64(&req.txn_id));

@@ -51,17 +51,62 @@ void RecoveryManager::stop() {
 }
 
 void RecoveryManager::recover_state() {
-  std::lock_guard lock(mutex_);
-  // §3.3: the thresholds are recoverable from the coordination service; the
-  // registries repopulate from the live sessions' piggybacked payloads.
-  if (auto tf = coord_->get(kTfPath)) published_tf_ = std::max(published_tf_, *tf);
-  if (auto tp = coord_->get(kTpPath)) published_tp_ = std::max(published_tp_, *tp);
-  client_tf_.clear();
-  server_tp_.clear();
-  for (const auto& s : coord_->live_sessions("clients")) client_tf_[s.name] = s.payload;
-  for (const auto& s : coord_->live_sessions("servers")) server_tp_[s.name] = s.payload;
-  TFR_LOG(INFO, "rm") << "state recovered: TF=" << published_tf_ << " TP=" << published_tp_
-                      << " clients=" << client_tf_.size() << " servers=" << server_tp_.size();
+  std::vector<std::pair<std::string, Timestamp>> resume;  // client -> TFr(c)
+  {
+    std::lock_guard lock(mutex_);
+    // §3.3: the thresholds are recoverable from the coordination service; the
+    // registries repopulate from the live sessions' piggybacked payloads.
+    if (auto tf = coord_->get(kTfPath)) published_tf_ = std::max(published_tf_, *tf);
+    if (auto tp = coord_->get(kTpPath)) published_tp_ = std::max(published_tp_, *tp);
+    client_tf_.clear();
+    server_tp_.clear();
+    for (const auto& s : coord_->live_sessions("clients")) client_tf_[s.name] = s.payload;
+    for (const auto& s : coord_->live_sessions("servers")) server_tp_[s.name] = s.payload;
+
+    // Re-adopt the in-flight server recoveries: every pending region floors
+    // TP again at its TPr(s), and a gate firing after the restart still finds
+    // its region pending and replays.
+    pending_regions_.clear();
+    const std::size_t region_prefix = std::string(kRecoveringRegionPrefix).size();
+    for (const auto& [path, tpr] : coord_->list(kRecoveringRegionPrefix)) {
+      pending_regions_[path.substr(region_prefix)] = PendingRegion{"?", tpr};
+    }
+
+    // Interrupted client recoveries restart from their original TFr(c);
+    // re-flushing write-sets the old RM already replayed is idempotent.
+    const std::size_t client_prefix = std::string(kRecoveringClientPrefix).size();
+    for (const auto& [path, tfr] : coord_->list(kRecoveringClientPrefix)) {
+      resume.emplace_back(path.substr(client_prefix), tfr);
+    }
+
+    // Clients that died while no RM was listening: durably registered, but
+    // neither live nor already being recovered.
+    const std::size_t registry_prefix = std::string(kClientRegistryPrefix).size();
+    for (const auto& [path, tfc] : coord_->list(kClientRegistryPrefix)) {
+      const std::string id = path.substr(registry_prefix);
+      if (client_tf_.count(id)) continue;
+      const bool already_resuming = std::any_of(
+          resume.begin(), resume.end(), [&](const auto& r) { return r.first == id; });
+      if (already_resuming) continue;
+      coord_->put(kRecoveringClientPrefix + id, tfc);
+      coord_->erase(path);
+      resume.emplace_back(id, tfc);
+    }
+
+    for (const auto& [id, tfr] : resume) {
+      client_recovery_floor_[id] = tfr;
+      ++stats_.client_recoveries;
+    }
+    TFR_LOG(INFO, "rm") << "state recovered: TF=" << published_tf_ << " TP=" << published_tp_
+                        << " clients=" << client_tf_.size() << " servers=" << server_tp_.size()
+                        << " pending regions=" << pending_regions_.size()
+                        << " resumed client recoveries=" << resume.size();
+  }
+  for (const auto& [id, tfr] : resume) {
+    const std::string client_id = id;
+    const Timestamp floor = tfr;
+    work_.push([this, client_id, floor] { recover_client(client_id, floor); });
+  }
 }
 
 // --- threshold maintenance ---------------------------------------------------
@@ -95,8 +140,10 @@ Timestamp RecoveryManager::compute_tp_locked() const {
     tp = std::min(tp, t);
     any = true;
   }
-  for (const auto& [s, t] : server_recovery_floor_) {
-    tp = std::min(tp, t);
+  // Every region still awaiting transactional replay pins TP at the TPr(s)
+  // of its failure, so the recovery log cannot be truncated under it.
+  for (const auto& [r, pending] : pending_regions_) {
+    tp = std::min(tp, pending.tpr);
     any = true;
   }
   if (!any) tp = published_tf_;  // no servers and nothing pending: all persisted
@@ -119,10 +166,13 @@ void RecoveryManager::poll_tick() {
   for (const auto& s : coord_->live_sessions("clients")) {
     auto it = client_tf_.find(s.name);
     if (it == client_tf_.end()) {
-      client_tf_[s.name] = s.payload;  // registration (Algorithm 2)
+      it = client_tf_.emplace(s.name, s.payload).first;  // registration (Algorithm 2)
     } else {
       it->second = std::max(it->second, s.payload);
     }
+    // Durable registry: if this client dies while no RM is listening, the
+    // next RM still knows it existed and what to replay from.
+    coord_->put(kClientRegistryPrefix + s.name, it->second);
   }
   for (const auto& s : coord_->live_sessions("servers")) {
     server_tp_[s.name] = s.payload;
@@ -148,6 +198,7 @@ void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
     // Clean unregister: drop the client from TF maintenance (§3.1).
     std::lock_guard lock(mutex_);
     client_tf_.erase(info.name);
+    coord_->erase(kClientRegistryPrefix + info.name);
     publish_locked();
     return;
   }
@@ -156,8 +207,11 @@ void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
     client_tf_.erase(info.name);
     // Hold TF at TFr(c) until the replay completes: servers must not be
     // told that these transactions are "fully flushed" while the recovery
-    // client is still re-flushing them.
+    // client is still re-flushing them. The durable marker lets an RM that
+    // restarts mid-replay resume from the same floor.
     client_recovery_floor_[info.name] = info.payload;
+    coord_->put(kRecoveringClientPrefix + info.name, info.payload);
+    coord_->erase(kClientRegistryPrefix + info.name);
     ++stats_.client_recoveries;
   }
   TFR_LOG(INFO, "rm") << "client " << info.name << " FAILED, TFr=" << info.payload
@@ -183,6 +237,7 @@ void RecoveryManager::recover_client(const std::string& client_id, Timestamp tfr
     std::lock_guard lock(mutex_);
     stats_.writesets_replayed_client += static_cast<std::int64_t>(writesets.size());
     client_recovery_floor_.erase(client_id);
+    coord_->erase(kRecoveringClientPrefix + client_id);
     publish_locked();
   }
   idle_cv_.notify_all();
@@ -225,12 +280,13 @@ void RecoveryManager::on_server_failure(const std::string& server_id,
     tpr = it->second;
     server_tp_.erase(it);
   }
-  server_recovery_floor_[server_id] = tpr;
   for (const auto& r : regions) {
     pending_regions_[r] = PendingRegion{server_id, tpr};
-    pending_by_server_[server_id].insert(r);
+    // Durable marker first: the master only starts reassigning regions after
+    // this hook returns, so by the time any gate can fire the pending set —
+    // and therefore the replay obligation — is already crash-safe.
+    coord_->put(kRecoveringRegionPrefix + r, tpr);
   }
-  if (regions.empty()) server_recovery_floor_.erase(server_id);
   ++stats_.server_recoveries;
   publish_locked();
   TFR_LOG(INFO, "rm") << "server " << server_id << " FAILED, TPr=" << tpr << ", "
@@ -275,18 +331,11 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
     std::lock_guard lock(mutex_);
     stats_.writesets_replayed_server += replayed;
     ++stats_.regions_recovered;
+    // Release this region's TP floor; once the last region of the failure is
+    // erased the replayed write-sets are the hosting servers' responsibility
+    // (they inherited TPr(s) via the piggyback).
     pending_regions_.erase(region_name);
-    auto sit = pending_by_server_.find(pending.failed_server);
-    if (sit != pending_by_server_.end()) {
-      sit->second.erase(region_name);
-      if (sit->second.empty()) {
-        // Last region of this failure: release the TP floor; the replayed
-        // write-sets are now the hosting servers' responsibility (they
-        // inherited TPr(s) via the piggyback).
-        pending_by_server_.erase(sit);
-        server_recovery_floor_.erase(pending.failed_server);
-      }
-    }
+    coord_->erase(kRecoveringRegionPrefix + region_name);
     publish_locked();
   }
   idle_cv_.notify_all();
@@ -302,8 +351,7 @@ RecoveryManagerStats RecoveryManager::stats() const {
 void RecoveryManager::wait_for_idle() const {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [&] {
-    return client_recovery_floor_.empty() && server_recovery_floor_.empty() &&
-           pending_regions_.empty();
+    return client_recovery_floor_.empty() && pending_regions_.empty();
   });
 }
 

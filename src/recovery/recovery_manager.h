@@ -27,17 +27,18 @@
 // the server's regions are recovered, so the log cannot be truncated under
 // a pending replay.
 //
-// RM failure: all state lives in heartbeats and the published thresholds;
-// recover_state() rebuilds the registries from the coordination service
-// (§3.3). Transaction processing continues while the RM is down.
+// RM failure: all state lives in heartbeats, the published thresholds, and
+// durable recovery markers in the coordination service; recover_state()
+// rebuilds the registries and *resumes in-flight recoveries* from those
+// markers (§3.3). Transaction processing continues while the RM is down.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <thread>
@@ -77,6 +78,19 @@ struct RecoveryManagerStats {
 inline constexpr const char* kTfPath = "/tfr/TF";
 inline constexpr const char* kTpPath = "/tfr/TP";
 
+/// Durable recovery markers (coordination-service KV). They make in-flight
+/// recoveries survive an RM restart: without them, an RM that dies between
+/// "server declared failed" and "last region replayed" would forget the
+/// pending replays, regions would come online without their un-persisted
+/// write-sets, and committed transactions would be lost.
+///   <region prefix>/<region>  = TPr(s) of the failure being recovered
+///   <client prefix>/<client>  = TFr(c) of the failed client
+///   <registry prefix>/<client> = last TF(c) of each registered client, so a
+///     client that dies while no RM is listening is still detected.
+inline constexpr const char* kRecoveringRegionPrefix = "/tfr/recovering/region/";
+inline constexpr const char* kRecoveringClientPrefix = "/tfr/recovering/client/";
+inline constexpr const char* kClientRegistryPrefix = "/tfr/registry/client/";
+
 class RecoveryManager : public MasterHooks {
  public:
   RecoveryManager(Coord& coord, TxnManager& tm, Master& master,
@@ -91,7 +105,10 @@ class RecoveryManager : public MasterHooks {
   void stop();
 
   /// Rebuild registries after an RM restart (§3.3): adopt the published
-  /// thresholds and the currently-live sessions.
+  /// thresholds and the currently-live sessions, reload the pending-region
+  /// floors, and re-enqueue interrupted or missed client recoveries from the
+  /// durable markers (replay is idempotent, so resuming from the original
+  /// floor is safe). Call before start().
   void recover_state();
 
   // --- MasterHooks (server failure path, §3.2) ------------------------------
@@ -139,16 +156,17 @@ class RecoveryManager : public MasterHooks {
   Timestamp published_tf_ = kNoTimestamp;
   Timestamp published_tp_ = kNoTimestamp;
 
-  /// Floors held during in-flight recoveries (see header comment).
+  /// Floors held during in-flight client recoveries (see header comment).
   std::map<std::string, Timestamp> client_recovery_floor_;  // client -> TFr(c)
-  std::map<std::string, Timestamp> server_recovery_floor_;  // server -> TPr(s)
 
+  /// Regions still awaiting transactional replay. Each entry floors the
+  /// global TP at its TPr(s) until the replay completes, and is mirrored
+  /// durably under kRecoveringRegionPrefix so an RM restart resumes it.
   struct PendingRegion {
-    std::string failed_server;
+    std::string failed_server;  // informational; "?" after an RM restart
     Timestamp tpr = kNoTimestamp;
   };
   std::map<std::string, PendingRegion> pending_regions_;
-  std::map<std::string, std::set<std::string>> pending_by_server_;
 
   RecoveryManagerStats stats_;
   PeriodicTask poller_;

@@ -39,7 +39,12 @@ Testbed::Testbed(TestbedConfig config)
           rm_->global_tp());
       tracker->install();
       server.set_region_gate([this](const std::string& region, const std::string& server_id) {
-        rm_->on_region_recovered(region, server_id);
+        // Shared-lock the RM pointer for the whole (possibly long) replay:
+        // a concurrent RM restart waits for in-flight gates, and a gate that
+        // fires during the swap window lands on the fresh instance — which
+        // has reloaded the pending-region markers, so the replay still runs.
+        std::shared_lock lock(rm_mutex_);
+        if (rm_) rm_->on_region_recovered(region, server_id);
       });
       trackers_.push_back(std::move(tracker));
     });
@@ -150,16 +155,29 @@ Status Testbed::warm_cache(const std::string& table, std::uint64_t num_rows) {
 void Testbed::restart_recovery_manager() {
   if (!rm_) return;
   TFR_LOG(INFO, "testbed") << "recovery manager restarting";
+  // Stop the old instance BEFORE taking rm_mutex_ exclusively: its worker
+  // may be re-flushing into a gated region, and that gate holds the shared
+  // lock — taking the exclusive lock first would deadlock.
   rm_->stop();
-  // Detach the master from the dying instance before it is destroyed; the
-  // fresh instance re-installs itself in start().
+  // Detach the master from the dying instance before it is destroyed
+  // (set_hooks quiesces in-flight hook calls); the fresh instance
+  // re-installs itself in start().
   cluster_.master().set_hooks(nullptr);
   // Transaction processing continues while the RM is down (§3.3); a new RM
-  // instance rebuilds its registries from the coordination service.
+  // instance rebuilds its registries — including in-flight recoveries —
+  // from the coordination service.
   auto fresh = std::make_unique<RecoveryManager>(cluster_.coord(), tm_, cluster_.master(),
                                                  config_.recovery);
-  fresh->recover_state();
-  rm_ = std::move(fresh);
+  {
+    // Waits for in-flight gates (they hold the shared lock for the whole
+    // replay). recover_state() must run inside this critical section: a gate
+    // finishing on the old instance erases its durable marker, so reading
+    // the markers before quiescing could adopt a pending region that is
+    // about to complete — and then wait for it forever.
+    std::unique_lock lock(rm_mutex_);
+    fresh->recover_state();
+    rm_ = std::move(fresh);  // destroys the old, stopped instance
+  }
   rm_->start();
 }
 

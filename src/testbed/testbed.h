@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,11 @@ class Testbed {
   /// Crash-fail client i (heartbeats stop; flushes die mid-flight).
   void crash_client(int i) { clients_.at(static_cast<std::size_t>(i))->crash(); }
 
+  /// The cluster-wide deterministic fault injector (transient RPC errors,
+  /// dropped acks, wire corruption, slow/failing DFS syncs). See
+  /// common/fault.h; disabled until rules are added.
+  FaultInjector& fault() { return cluster_.fault(); }
+
   /// Simulate a recovery-manager failure and restart (§3.3): the registries
   /// are rebuilt from the coordination service.
   void restart_recovery_manager();
@@ -118,6 +124,12 @@ class Testbed {
   TestbedConfig config_;
   Cluster cluster_;
   TxnManager tm_;
+  /// Guards rm_ against the restart swap: region gates (server threads) read
+  /// it shared; restart_recovery_manager() takes it exclusively. Lock order:
+  /// rm_->stop() must complete BEFORE the exclusive lock is requested — a
+  /// gate blocked inside on_region_recovered holds the shared lock for the
+  /// whole replay.
+  mutable std::shared_mutex rm_mutex_;
   std::unique_ptr<RecoveryManager> rm_;
   std::vector<std::unique_ptr<PersistTracker>> trackers_;
   std::vector<std::unique_ptr<TxnClient>> clients_;

@@ -1,0 +1,86 @@
+// Backoff: full-jitter interval bounds, attempt accounting, cancellation.
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tfr {
+namespace {
+
+TEST(BackoffTest, IntervalsStayWithinJitterBounds) {
+  const Micros base = 100;
+  const Micros cap = 800;
+  Backoff b(base, cap);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    // Full jitter: attempt n draws uniformly from (0, min(cap, base * 2^n)].
+    Micros ceiling = base;
+    for (int i = 0; i < attempt && ceiling < cap; ++i) ceiling *= 2;
+    if (ceiling > cap) ceiling = cap;
+    const Micros interval = b.next_interval();
+    EXPECT_GE(interval, 1) << "attempt " << attempt;
+    EXPECT_LE(interval, ceiling) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, AttemptsCountAndReset) {
+  Backoff b(10, 100);
+  EXPECT_EQ(b.attempts(), 0);
+  (void)b.next_interval();
+  (void)b.next_interval();
+  EXPECT_EQ(b.attempts(), 2);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  // After reset the ceiling is back at the base.
+  EXPECT_LE(b.next_interval(), 10);
+}
+
+TEST(BackoffTest, DegenerateParametersAreClamped) {
+  Backoff zero(0, 0);  // base clamped to 1, cap to base
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(zero.next_interval(), 1);
+  Backoff inverted(50, 10);  // cap < base: cap becomes base
+  for (int i = 0; i < 5; ++i) EXPECT_LE(inverted.next_interval(), 50);
+}
+
+TEST(BackoffTest, SleepCompletesWithoutCancelFlag) {
+  Backoff b(1, 1);
+  EXPECT_TRUE(b.sleep());
+  EXPECT_TRUE(b.sleep(nullptr));
+}
+
+TEST(BackoffTest, PreSetCancelAbortsImmediately) {
+  Backoff b(seconds(10), seconds(10));  // would sleep up to 10s
+  std::atomic<bool> cancel{true};
+  const Micros t0 = now_micros();
+  EXPECT_FALSE(b.sleep(&cancel));
+  // The sliced sleep must notice the flag within ~a slice, not the interval.
+  EXPECT_LT(now_micros() - t0, seconds(1));
+}
+
+TEST(BackoffTest, CancelMidSleepIsObserved) {
+  Backoff b(seconds(10), seconds(10));
+  std::atomic<bool> cancel{false};
+  std::thread setter([&] {
+    sleep_micros(millis(5));
+    cancel.store(true);
+  });
+  EXPECT_FALSE(b.sleep(&cancel));
+  setter.join();
+}
+
+TEST(BackoffTest, InstancesDrawIndependentStreams) {
+  // Concurrent retriers must not wake in lockstep: two instances with the
+  // same parameters should produce different jitter sequences.
+  Backoff a(1000, 1000000);
+  Backoff b(1000, 1000000);
+  std::vector<Micros> av, bv;
+  for (int i = 0; i < 8; ++i) {
+    av.push_back(a.next_interval());
+    bv.push_back(b.next_interval());
+  }
+  EXPECT_NE(av, bv);
+}
+
+}  // namespace
+}  // namespace tfr

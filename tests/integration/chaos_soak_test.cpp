@@ -1,0 +1,236 @@
+// Chaos soak — the tentpole robustness test. Each seed derives a full
+// deterministic schedule: a layer of gray failures (transient RPC errors,
+// dropped acks, corrupted frames, slow WAL syncs, flaky WAL-split reads)
+// underneath real crash faults (one region server, one client, and on half
+// the seeds a recovery-manager restart), all against a concurrent
+// transactional workload. After the dust settles, the run asserts the
+// DESIGN.md §5 invariants:
+//   * durability   — every committed transaction is readable (model check)
+//   * atomicity    — cross-region write-sets are never torn
+//   * monotonicity — published TF and TP never regress (monitor thread)
+//   * ordering     — TP <= TF at every observation
+//   * liveness     — flushes drain and TF reaches the newest commit
+//
+// Reproduce a failing seed with:   TFR_CHAOS_SEED=<seed> ./integration_tests \
+//   --gtest_filter='Seeds/ChaosSoakTest.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+constexpr std::uint64_t kRows = 600;       // 6 regions, splits every 100 rows
+constexpr std::uint64_t kSingleRows = 200; // single-row txns draw from [0, 200)
+constexpr int kWriterThreads = 3;
+constexpr int kTxnsPerThread = 30;
+
+std::uint64_t effective_seed(std::uint64_t param) {
+  if (const char* env = std::getenv("TFR_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return param;
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSoakTest, CommittedTransactionsSurviveGrayFailuresAndCrashes) {
+  const std::uint64_t seed = effective_seed(GetParam());
+  SCOPED_TRACE("chaos seed " + std::to_string(seed) +
+               " — replay with TFR_CHAOS_SEED=" + std::to_string(seed));
+  // Visible on pass too, so a TFR_CHAOS_SEED replay confirms which schedule
+  // actually ran.
+  std::printf("[ chaos    ] seed %llu%s\n", static_cast<unsigned long long>(seed),
+              std::getenv("TFR_CHAOS_SEED") ? " (from TFR_CHAOS_SEED)" : "");
+  Rng rng(seed);
+
+  TestbedConfig cfg = fast_test_config(3, kWriterThreads);
+  cfg.client.flusher_threads = 2;
+  Testbed bed(cfg);
+  ASSERT_TRUE(bed.start().is_ok());
+  ASSERT_TRUE(bed.create_table("t", kRows, 6).is_ok());
+
+  // --- the fault schedule, all derived from the seed ------------------------
+  bed.fault().reseed(seed);
+  {
+    FaultRule rpc;  // lost requests, lost acks, corrupted frames
+    rpc.op = FaultOp::kRpcApply;
+    rpc.error_probability = 0.1;
+    rpc.drop_response_probability = 0.05;
+    rpc.corrupt_probability = 0.05;
+    bed.fault().add_rule(rpc);
+
+    FaultRule slow_sync;  // the slow-disk gray failure
+    slow_sync.op = FaultOp::kDfsSync;
+    slow_sync.target = "/wal/";
+    slow_sync.delay_probability = 0.5;
+    slow_sync.delay = millis(1);
+    bed.fault().add_rule(slow_sync);
+
+    FaultRule flaky_split;  // WAL-split reads during server recovery
+    flaky_split.op = FaultOp::kDfsRead;
+    flaky_split.target = "/wal/";
+    flaky_split.error_probability = 0.05;
+    bed.fault().add_rule(flaky_split);
+  }
+
+  // --- reference model of successfully committed transactions ---------------
+  std::mutex model_mutex;
+  std::map<std::string, std::pair<Timestamp, std::string>> model;  // row -> (ts, value)
+  std::vector<std::pair<std::string, std::string>> committed_pairs;
+  Timestamp max_committed = 0;
+
+  auto writer = [&](int t, std::uint64_t thread_seed) {
+    Rng trng(thread_seed);
+    TxnClient& client = bed.client(t);
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      if (client.crashed()) break;
+      Transaction txn = client.begin("t");
+      std::vector<Mutation> muts;
+      const bool pair_txn = i % 5 == 0;
+      if (pair_txn) {
+        // Cross-region atomicity probe: two rows 300 apart land in different
+        // regions; the (t, i) key makes each pair row written exactly once.
+        const std::uint64_t p =
+            kSingleRows + static_cast<std::uint64_t>(t * kTxnsPerThread + i);
+        const std::string value = "pair-" + std::to_string(t) + "-" + std::to_string(i);
+        for (std::uint64_t row : {p, p + 300}) {
+          txn.put(Testbed::row_key(row), "c", value);
+          muts.push_back(Mutation{Testbed::row_key(row), "c", value, false});
+        }
+      } else {
+        const std::string row = Testbed::row_key(trng.next_below(kSingleRows));
+        const std::string value =
+            "s" + std::to_string(t) + "-" + std::to_string(i);
+        txn.put(row, "c", value);
+        muts.push_back(Mutation{row, "c", value, false});
+      }
+      auto ts = txn.commit();
+      if (!ts.is_ok()) continue;  // not committed -> not durable, not modeled
+      std::lock_guard lock(model_mutex);
+      for (const auto& m : muts) {
+        auto it = model.find(m.row);
+        if (it == model.end() || ts.value() >= it->second.first) {
+          model[m.row] = {ts.value(), m.value};
+        }
+      }
+      if (pair_txn) committed_pairs.emplace_back(muts[0].row, muts[1].row);
+      max_committed = std::max(max_committed, ts.value());
+    }
+  };
+
+  // --- invariant monitor: TF/TP from the coordination service ---------------
+  // Reads TP before TF: TF only grows, so tf >= the TF that held when tp was
+  // read, and tp <= tf must hold at every observation.
+  std::atomic<bool> monitor_stop{false};
+  std::vector<std::string> violations;
+  std::mutex violations_mutex;
+  std::thread monitor([&] {
+    Timestamp last_tf = kNoTimestamp;
+    Timestamp last_tp = kNoTimestamp;
+    while (!monitor_stop.load(std::memory_order_acquire)) {
+      const auto tp = bed.coord().get(kTpPath);
+      const auto tf = bed.coord().get(kTfPath);
+      std::lock_guard lock(violations_mutex);
+      if (tf && *tf < last_tf) {
+        violations.push_back("TF regressed: " + std::to_string(last_tf) + " -> " +
+                             std::to_string(*tf));
+      }
+      if (tp && *tp < last_tp) {
+        violations.push_back("TP regressed: " + std::to_string(last_tp) + " -> " +
+                             std::to_string(*tp));
+      }
+      if (tf && tp && *tp > *tf) {
+        violations.push_back("TP " + std::to_string(*tp) + " > TF " + std::to_string(*tf));
+      }
+      if (tf) last_tf = *tf;
+      if (tp) last_tp = *tp;
+      sleep_micros(millis(1));
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriterThreads; ++t) {
+    writers.emplace_back(writer, t, seed * 97 + static_cast<std::uint64_t>(t));
+  }
+
+  // --- the crash schedule, also seed-derived --------------------------------
+  sleep_micros(millis(15 + static_cast<std::int64_t>(rng.next_below(30))));
+  const int server_victim = static_cast<int>(rng.next_below(3));
+  const bool restart_rm = rng.next_bool(0.5);
+  bed.crash_server(server_victim);
+  ASSERT_TRUE(bed.wait_server_recoveries(1));
+  if (restart_rm) {
+    // The RM dies while the server recovery is in flight; the durable
+    // markers make the fresh instance pick it up.
+    bed.restart_recovery_manager();
+  }
+  sleep_micros(millis(5 + static_cast<std::int64_t>(rng.next_below(20))));
+  bed.crash_client(0);
+
+  for (auto& w : writers) w.join();
+  ASSERT_TRUE(bed.wait_client_recoveries(1));
+  bed.wait_for_recovery();
+  bed.fault().clear_rules();
+
+  for (int c = 1; c < kWriterThreads; ++c) {
+    ASSERT_TRUE(bed.client(c).wait_flushed(seconds(60))) << "client " << c;
+  }
+  ASSERT_TRUE(bed.wait_stable(max_committed, seconds(60)));
+
+  monitor_stop.store(true, std::memory_order_release);
+  monitor.join();
+  {
+    std::lock_guard lock(violations_mutex);
+    EXPECT_TRUE(violations.empty()) << violations.size() << " threshold violations, first: "
+                                    << violations.front();
+  }
+  // Post-recovery threshold sanity.
+  {
+    const auto tp = bed.coord().get(kTpPath);
+    const auto tf = bed.coord().get(kTfPath);
+    ASSERT_TRUE(tf.has_value());
+    ASSERT_TRUE(tp.has_value());
+    EXPECT_LE(*tp, *tf);
+  }
+
+  // --- durability: the store matches the reference model --------------------
+  Transaction r = bed.client(1).begin("t");
+  std::size_t checked = 0;
+  for (const auto& [row, expected] : model) {
+    auto v = r.get(row, "c");
+    ASSERT_TRUE(v.is_ok()) << row;
+    ASSERT_TRUE(v.value().has_value()) << "committed row lost: " << row;
+    EXPECT_EQ(*v.value(), expected.second) << row;
+    ++checked;
+  }
+  // --- atomicity: no torn cross-region write-sets ---------------------------
+  for (const auto& [a, b] : committed_pairs) {
+    auto va = r.get(a, "c");
+    auto vb = r.get(b, "c");
+    ASSERT_TRUE(va.is_ok() && vb.is_ok());
+    ASSERT_TRUE(va.value().has_value() && vb.value().has_value()) << "torn pair " << a;
+    EXPECT_EQ(*va.value(), *vb.value()) << "torn pair " << a;
+  }
+  r.abort();
+  EXPECT_GT(checked, 0u);
+
+  // The schedule must actually have exercised the fault paths.
+  const FaultStats fs = bed.fault().stats();
+  EXPECT_GT(fs.evaluations, 0);
+  EXPECT_GT(fs.injected_errors + fs.dropped_responses + fs.corrupted_wires, 0);
+  EXPECT_GT(fs.injected_delays, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
+                         ::testing::Range<std::uint64_t>(1, 21));  // 20 seeds
+
+}  // namespace
+}  // namespace tfr

@@ -1,0 +1,128 @@
+// §3.3 under stress — the recovery manager itself fails *while recoveries
+// are in flight*. The durable markers in the coordination service must make
+// the restart seamless: regions stay gated until their replay really
+// happened, client recoveries resume from their recorded floor, and a client
+// that dies while no RM is listening is still detected via the registry.
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+
+namespace tfr {
+namespace {
+
+class RmRestartRecoveryTest : public ::testing::Test {
+ protected:
+  RmRestartRecoveryTest() : bed_(config()) {}
+
+  static TestbedConfig config() {
+    TestbedConfig cfg = fast_test_config(3, 2);
+    // Keep the WAL syncer effectively off so a crash reliably loses the
+    // in-memory tail — only the transactional replay can restore it.
+    cfg.cluster.server.wal_sync_interval = seconds(100);
+    return cfg;
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(bed_.start().is_ok());
+    ASSERT_TRUE(bed_.create_table("t", 3000, 6).is_ok());
+  }
+
+  std::vector<Timestamp> commit_rows(int client, int from, int to) {
+    std::vector<Timestamp> out;
+    for (int i = from; i < to; ++i) {
+      Transaction txn = bed_.client(client).begin("t");
+      txn.put(Testbed::row_key(i), "c", "value-" + std::to_string(i));
+      auto ts = txn.commit();
+      EXPECT_TRUE(ts.is_ok());
+      out.push_back(ts.value_or(kNoTimestamp));
+    }
+    return out;
+  }
+
+  void verify_rows(int client, int from, int to) {
+    Transaction r = bed_.client(client).begin("t");
+    for (int i = from; i < to; ++i) {
+      auto v = r.get(Testbed::row_key(i), "c");
+      ASSERT_TRUE(v.is_ok());
+      ASSERT_TRUE(v.value().has_value()) << "lost committed row " << i;
+      EXPECT_EQ(*v.value(), "value-" + std::to_string(i));
+    }
+    r.abort();
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(RmRestartRecoveryTest, RestartDuringServerRecoveryLosesNothing) {
+  auto tss = commit_rows(0, 0, 60);
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+
+  // Slow down the WAL-split reads so the restart lands while the server
+  // recovery is genuinely in flight (regions still gated).
+  FaultRule slow_split;
+  slow_split.op = FaultOp::kDfsRead;
+  slow_split.target = "/wal/";
+  slow_split.delay_probability = 1.0;
+  slow_split.delay = millis(5);
+  bed_.fault().add_rule(slow_split);
+
+  bed_.crash_server(0);
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  // The RM dies and restarts between failure detection and replay
+  // completion. The fresh instance reloads the pending-region markers, so
+  // the still-gated regions replay against it.
+  bed_.restart_recovery_manager();
+  bed_.fault().clear_rules();
+
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 0, 60);
+  // Every durable marker was consumed: nothing left pending.
+  EXPECT_TRUE(bed_.coord().list(kRecoveringRegionPrefix).empty());
+  EXPECT_TRUE(bed_.coord().list(kRecoveringClientPrefix).empty());
+}
+
+TEST_F(RmRestartRecoveryTest, ClientDeathWhileRmDownIsDetectedOnRestart) {
+  commit_rows(0, 0, 20);
+  // Make sure the RM has published client-1's registry entry.
+  bed_.rm().refresh_now();
+  ASSERT_TRUE(bed_.coord().get(std::string(kClientRegistryPrefix) + "client-1").has_value());
+
+  bed_.rm().stop();
+  // Processing continues while the RM is down — and then the client dies
+  // with nobody listening for its session expiry.
+  auto tss = commit_rows(0, 20, 40);
+  bed_.crash_client(0);
+  sleep_micros(millis(250));  // session TTL is 100ms; let it lapse unheard
+
+  bed_.restart_recovery_manager();
+  // recover_state() sees a registered client with no live session and
+  // starts its recovery from the registry floor.
+  ASSERT_TRUE(bed_.wait_client_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(1, 0, 40);
+  // The dead client's registry entry and recovery marker are both gone.
+  EXPECT_FALSE(bed_.coord().get(std::string(kClientRegistryPrefix) + "client-1").has_value());
+  EXPECT_TRUE(bed_.coord().list(kRecoveringClientPrefix).empty());
+}
+
+TEST_F(RmRestartRecoveryTest, InterruptedClientRecoveryResumesFromMarker) {
+  auto tss = commit_rows(0, 0, 40);
+  // Simulate an RM that died mid-client-recovery: the durable marker is in
+  // the coordination service but no replay is running.
+  bed_.rm().stop();
+  bed_.crash_client(0);
+  bed_.coord().put(std::string(kRecoveringClientPrefix) + "client-1", kNoTimestamp);
+
+  bed_.restart_recovery_manager();
+  ASSERT_TRUE(bed_.wait_client_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(1, 0, 40);
+  EXPECT_TRUE(bed_.coord().list(kRecoveringClientPrefix).empty());
+}
+
+}  // namespace
+}  // namespace tfr
