@@ -4,6 +4,7 @@
 
 #include "src/common/backoff.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -23,6 +24,11 @@ void Master::stop() {
     coord_->remove_listener("servers", listener_id_);
     listener_id_ = 0;
   }
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;  // release a recovery held for hooks that won't come
+  }
+  idle_cv_.notify_all();
   failures_.close();
   if (worker_.joinable()) worker_.join();
 }
@@ -41,6 +47,10 @@ void Master::set_hooks(MasterHooks* hooks) {
   // old hooks object.
   idle_cv_.wait(lock, [&] { return hook_calls_in_flight_ == 0; });
   hooks_ = hooks;
+  if (hooks != nullptr) hooks_ever_set_ = true;
+  lock.unlock();
+  // Wake a recovery held in handle_server_down for the hooks to come back.
+  idle_cv_.notify_all();
 }
 
 std::string Master::pick_live_server_locked(std::size_t salt) const {
@@ -259,7 +269,16 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
   MasterHooks* hooks = nullptr;
   std::string wal_path;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    // A crash landing in the recovery middleware's restart window — hooks
+    // detached, the fresh instance not yet installed — must not proceed
+    // hook-less: no pending-region entry or durable /tfr/recovering marker
+    // would ever be written, so the gate would find nothing pending and the
+    // regions would come online without transactional replay. Hold the
+    // recovery until the new hooks arrive (or the master shuts down).
+    if (crashed && hooks_ever_set_) {
+      idle_cv_.wait(lock, [&] { return hooks_ != nullptr || stopping_; });
+    }
     for (const auto& [name, loc] : assignment_) {
       if (loc.server_id == server_id) affected.push_back(loc);
     }
@@ -296,10 +315,18 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       }
       if (split.status().is_not_found()) break;  // server never wrote a WAL
       if (backoff.attempts() >= 20) {
+        // Exhausted: proceeding with an empty edit map would silently drop
+        // the durable edits this loop exists to protect. Fail the recovery
+        // visibly instead — the regions stay assigned to the dead server
+        // (clients keep retrying, the RM keeps them pending and TP pinned)
+        // and the counter lets tests and operators catch it.
+        global_counter("master.wal_split_failures").add();
         TFR_LOG(ERROR, "master") << "WAL split failed for " << server_id << ": "
                                  << split.status() << "; giving up after "
-                                 << backoff.attempts() << " attempts";
-        break;
+                                 << backoff.attempts()
+                                 << " attempts; regions left unassigned, operator "
+                                    "intervention required";
+        return;
       }
       TFR_LOG(WARN, "master") << "WAL split failed for " << server_id << ": "
                               << split.status() << "; retrying";

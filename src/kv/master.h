@@ -114,6 +114,8 @@ class Master {
   std::map<std::string, RegionLocation> assignment_;       // region name -> location
   std::map<std::string, std::string> server_wal_paths_;
   MasterHooks* hooks_ = nullptr;
+  bool hooks_ever_set_ = false;  // a recovery middleware exists for this master
+  bool stopping_ = false;
   int hook_calls_in_flight_ = 0;
   int in_flight_recoveries_ = 0;
   mutable std::condition_variable idle_cv_;

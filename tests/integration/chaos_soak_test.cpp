@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/random.h"
 #include "src/testbed/testbed.h"
 
@@ -178,11 +179,14 @@ TEST_P(ChaosSoakTest, CommittedTransactionsSurviveGrayFailuresAndCrashes) {
   for (auto& w : writers) w.join();
   ASSERT_TRUE(bed.wait_client_recoveries(1));
   bed.wait_for_recovery();
-  bed.fault().clear_rules();
 
+  // Drain the surviving clients' flushes BEFORE lifting the fault rules, so
+  // every committed write-set's RPC applies ran under injection and the
+  // meta-assertion below sees a schedule that genuinely exercised the paths.
   for (int c = 1; c < kWriterThreads; ++c) {
     ASSERT_TRUE(bed.client(c).wait_flushed(seconds(60))) << "client " << c;
   }
+  bed.fault().clear_rules();
   ASSERT_TRUE(bed.wait_stable(max_committed, seconds(60)));
 
   monitor_stop.store(true, std::memory_order_release);
@@ -222,11 +226,17 @@ TEST_P(ChaosSoakTest, CommittedTransactionsSurviveGrayFailuresAndCrashes) {
   r.abort();
   EXPECT_GT(checked, 0u);
 
-  // The schedule must actually have exercised the fault paths.
+  // The schedule must actually have exercised the fault paths. Every
+  // committed write-set flushed under the RPC rule, so at least one of the
+  // three error kinds fired (P(none) < 0.8^60). Delay injection is NOT
+  // asserted here: how many /wal/ syncs ran while the delay rule was active
+  // depends on wall-clock timing, not the seed — it is covered
+  // deterministically in fault_test.cpp and fault_injection_test.cpp.
   const FaultStats fs = bed.fault().stats();
   EXPECT_GT(fs.evaluations, 0);
   EXPECT_GT(fs.injected_errors + fs.dropped_responses + fs.corrupted_wires, 0);
-  EXPECT_GT(fs.injected_delays, 0);
+  // A WAL-split give-up would have silently dropped durable edits.
+  EXPECT_EQ(global_counter("master.wal_split_failures").get(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,

@@ -83,6 +83,31 @@ TEST_F(RmRestartRecoveryTest, RestartDuringServerRecoveryLosesNothing) {
   EXPECT_TRUE(bed_.coord().list(kRecoveringClientPrefix).empty());
 }
 
+TEST_F(RmRestartRecoveryTest, ServerCrashDuringHookDetachWindowLosesNothing) {
+  auto tss = commit_rows(0, 0, 60);
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+
+  // Reproduce the restart window: the old RM is stopped and detached from
+  // the master, the fresh instance has not installed its hooks yet. A server
+  // crash landing here must not be handled hook-less — the master holds the
+  // recovery until the fresh RM's start() reinstalls the hooks, so the
+  // pending-region markers are still written before any region reopens.
+  bed_.rm().stop();
+  bed_.master().set_hooks(nullptr);
+  bed_.crash_server(0);
+  // Let the expiry be detected and the master's recovery worker reach the
+  // detached-hooks window before the fresh RM arrives.
+  sleep_micros(millis(250));
+
+  bed_.restart_recovery_manager();
+  ASSERT_TRUE(bed_.wait_server_recoveries(1));
+  bed_.wait_for_recovery();
+  ASSERT_TRUE(bed_.client(0).wait_flushed());
+  ASSERT_TRUE(bed_.wait_stable(tss.back()));
+  verify_rows(0, 0, 60);
+  EXPECT_TRUE(bed_.coord().list(kRecoveringRegionPrefix).empty());
+}
+
 TEST_F(RmRestartRecoveryTest, ClientDeathWhileRmDownIsDetectedOnRestart) {
   commit_rows(0, 0, 20);
   // Make sure the RM has published client-1's registry entry.
