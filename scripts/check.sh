@@ -1,21 +1,63 @@
 #!/usr/bin/env bash
 # One-shot correctness gate: configure, build, and run the full test suite —
-# optionally under a sanitizer.
+# optionally under a sanitizer — plus static-analysis entry points.
 #
 # Usage:
 #   scripts/check.sh                     # plain RelWithDebInfo build + ctest
+#   scripts/check.sh analyze             # clang -Werror=thread-safety build
+#   scripts/check.sh lint                # scripts/lint.sh (clang-tidy + greps)
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
+#   TFR_CXX=clang++ TFR_SANITIZE=thread scripts/check.sh   # TSan under clang
 #
-# Each sanitizer gets its own build directory (build-asan, build-tsan, ...)
-# so switching back and forth never forces a full reconfigure.
+# TFR_CXX selects the compiler (default: the system default, gcc on the
+# reference machine). Each sanitizer/compiler combination gets its own build
+# directory (build-asan, build-tsan-clang, ...) so switching back and forth
+# never forces a full reconfigure.
 #
 # Known issue (see TESTING.md): with gcc 12's libtsan, integration_tests
 # SEGVs inside the sanitizer's own interceptors before running any test; the
 # other three binaries are clean under TSan. check.sh therefore skips
-# integration_tests when TFR_SANITIZE=thread.
+# integration_tests only for gcc TSan builds — under clang
+# (TFR_CXX=clang++) the full suite runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CXX="${TFR_CXX:-}"
+
+# Figure out whether the chosen compiler is clang (decides the TSan skip
+# below and validates the analyze subcommand up front).
+compiler_is_clang() {
+  local probe="${CXX:-c++}"
+  command -v "$probe" > /dev/null 2>&1 && "$probe" --version 2> /dev/null | grep -qi clang
+}
+
+MODE="${1:-test}"
+case "$MODE" in
+  lint)
+    exec scripts/lint.sh
+    ;;
+  analyze)
+    CXX="${CXX:-clang++}"
+    if ! command -v "$CXX" > /dev/null 2>&1 || ! compiler_is_clang; then
+      echo "check.sh analyze: requires clang++ (set TFR_CXX to a clang binary)." >&2
+      echo "The TFR_* thread-safety annotations compile to nothing under gcc," >&2
+      echo "so an analysis build with it would be vacuously clean. Skipping is" >&2
+      echo "an error here, not a pass." >&2
+      exit 2
+    fi
+    BUILD_DIR=build-analyze
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER="$CXX" -DTFR_ANALYZE=ON
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    echo "analyze OK (clang -Werror=thread-safety, compiler: $CXX)"
+    exit 0
+    ;;
+  test) ;;
+  *)
+    echo "unknown subcommand '$MODE' (use: analyze, lint, or no argument)" >&2
+    exit 2
+    ;;
+esac
 
 SAN="${TFR_SANITIZE:-}"
 case "$SAN" in
@@ -28,8 +70,15 @@ case "$SAN" in
     exit 2
     ;;
 esac
+# Non-default compilers build in their own tree, e.g. build-tsan-clang.
+if [ -n "$CXX" ]; then
+  BUILD_DIR="$BUILD_DIR-$(basename "$CXX" | tr -d +)"
+fi
 
 CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [ -n "$CXX" ]; then
+  CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER=$CXX")
+fi
 if [ -n "$SAN" ]; then
   CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug "-DTFR_SANITIZE=$SAN")
 fi
@@ -37,12 +86,13 @@ fi
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-if [ "$SAN" = thread ]; then
-  echo "note: skipping integration_tests under TSan (gcc-12 libtsan artifact, see TESTING.md)"
+if [ "$SAN" = thread ] && ! compiler_is_clang; then
+  echo "note: skipping integration_tests under gcc TSan (gcc-12 libtsan artifact, see TESTING.md)"
+  echo "      run with TFR_CXX=clang++ to include it"
   for t in common_tests storage_tests txn_recovery_tests; do
     "$BUILD_DIR/tests/$t"
   done
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi
-echo "check OK${SAN:+ (sanitizer: $SAN)}"
+echo "check OK${SAN:+ (sanitizer: $SAN)}${CXX:+ (compiler: $CXX)}"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Lint gate, in two halves:
+#
+#  1. clang-tidy (see .clang-tidy for the check set) — runs only when a
+#     clang-tidy binary is on PATH, since the reference container ships gcc
+#     only. Needs a compile_commands.json; any build dir will do.
+#  2. Tree-invariant greps that always run, gcc or not:
+#       - no raw std synchronization primitives outside annotations.h (all
+#         locking must go through the annotated tfr::Mutex wrappers so the
+#         lock-rank validator and clang TSA see every acquisition);
+#       - no naked sleep_for outside the simulated clock and tests (retry
+#         loops must use backoff.h, and prod code sleeps via clock.h so
+#         latency injection stays honest).
+#
+# Registered with ctest as the `lint` test; also reachable as
+# `scripts/check.sh lint`.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- half 1: clang-tidy, when available --------------------------------
+if command -v clang-tidy > /dev/null 2>&1; then
+  CDB=""
+  for d in build build-analyze build-asan build-tsan; do
+    [ -f "$d/compile_commands.json" ] && CDB="$d" && break
+  done
+  if [ -z "$CDB" ]; then
+    echo "lint: clang-tidy found but no compile_commands.json; configure a build first" >&2
+    fail=1
+  else
+    echo "lint: running clang-tidy (compile db: $CDB)"
+    # shellcheck disable=SC2046
+    if ! clang-tidy -p "$CDB" --quiet $(find src -name '*.cpp' | sort); then
+      fail=1
+    fi
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping the tidy half (greps still run)"
+fi
+
+# ---- half 2: grep-enforced tree invariants -----------------------------
+viol=$(grep -rn --include='*.h' --include='*.cpp' -E \
+  'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)\b' \
+  src/ | grep -v '^src/common/annotations\.' || true)
+if [ -n "$viol" ]; then
+  echo "lint: raw std synchronization primitive outside src/common/annotations.h —" >&2
+  echo "      use tfr::Mutex / tfr::MutexLock / tfr::CondVar instead:" >&2
+  echo "$viol" >&2
+  fail=1
+fi
+
+viol=$(grep -rn --include='*.h' --include='*.cpp' 'std::this_thread::sleep_for' \
+  src/ | grep -v '^src/common/clock\.h' || true)
+if [ -n "$viol" ]; then
+  echo "lint: naked std::this_thread::sleep_for outside src/common/clock.h —" >&2
+  echo "      sleep via tfr::sleep_micros, and retry via backoff.h:" >&2
+  echo "$viol" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint FAILED" >&2
+  exit 1
+fi
+echo "lint OK"

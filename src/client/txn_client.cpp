@@ -85,8 +85,12 @@ TxnClient::~TxnClient() {
   // A client that was closed cleanly or crashed has already joined its
   // threads; otherwise shut down cleanly now.
   if (!crashed() && running_.load(std::memory_order_acquire)) (void)close();
-  std::lock_guard lock(terminator_mutex_);
-  if (self_terminator_.joinable()) self_terminator_.join();
+  std::thread terminator;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    terminator = std::move(self_terminator_);
+  }
+  if (terminator.joinable()) terminator.join();
 }
 
 Status TxnClient::start() {
@@ -97,8 +101,11 @@ Status TxnClient::start() {
   tracker_.advance(initial_tf);
   TFR_RETURN_IF_ERROR(coord_->create_session("clients", id_, config_.session_ttl, initial_tf));
   running_.store(true, std::memory_order_release);
-  for (int i = 0; i < config_.flusher_threads; ++i) {
-    flushers_.emplace_back([this] { flusher_loop(); });
+  {
+    MutexLock lock(lifecycle_mutex_);
+    for (int i = 0; i < config_.flusher_threads; ++i) {
+      flushers_.emplace_back([this] { flusher_loop(); });
+    }
   }
   heartbeats_.start();
   return Status::ok();
@@ -115,8 +122,7 @@ Status TxnClient::close() {
   }
   flush_cancel_.store(true, std::memory_order_release);
   flush_queue_.close();
-  for (auto& t : flushers_) t.join();
-  flushers_.clear();
+  join_flushers();
   heartbeat_tick();  // pre-shutdown heartbeat (Algorithm 1 line 7)
   return coord_->close_session("clients", id_);
 }
@@ -127,8 +133,7 @@ void TxnClient::crash() {
   flush_cancel_.store(true, std::memory_order_release);
   heartbeats_.stop();
   flush_queue_.close();
-  for (auto& t : flushers_) t.join();
-  flushers_.clear();
+  join_flushers();
   TFR_LOG(INFO, "client") << id_ << " CRASHED with " << tracker_.in_flight()
                           << " unflushed transactions (TF=" << tracker_.tf() << ")";
 }
@@ -216,7 +221,7 @@ void TxnClient::heartbeat_tick() {
     // ignored, so terminate. crash() joins the heartbeat thread — this IS
     // the heartbeat thread — so run it from a dedicated terminator thread.
     TFR_LOG(WARN, "client") << id_ << " declared dead by the recovery manager; terminating";
-    std::lock_guard lock(terminator_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (!self_terminator_.joinable()) {
       self_terminator_ = std::thread([this] { crash(); });
     }
@@ -227,6 +232,15 @@ void TxnClient::heartbeat_tick() {
     TFR_LOG(WARN, "client") << id_ << " flush queue exceeds alert threshold: "
                             << tracker_.in_flight();
   }
+}
+
+void TxnClient::join_flushers() {
+  std::vector<std::thread> to_join;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    to_join.swap(flushers_);
+  }
+  for (auto& t : to_join) t.join();
 }
 
 bool TxnClient::wait_flushed(Micros timeout) {

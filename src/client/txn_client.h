@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/queue.h"
 #include "src/common/threading.h"
 #include "src/coord/coord.h"
@@ -164,6 +165,7 @@ class TxnClient {
                                    const std::string& column, Timestamp read_ts);
   void heartbeat_tick();
   void flusher_loop();
+  void join_flushers();
 
   std::string id_;
   TxnManager* tm_;
@@ -176,11 +178,15 @@ class TxnClient {
   std::atomic<bool> running_{false};
   std::atomic<bool> flush_cancel_{false};  // breaks the unlimited-retry loop
   BlockingQueue<WriteSet> flush_queue_;
-  std::vector<std::thread> flushers_;
   PeriodicTask heartbeats_;
 
-  std::mutex terminator_mutex_;
-  std::thread self_terminator_;  // runs crash() when declared dead (§3.1)
+  // Guards the thread handles: close() (caller thread) and crash() (the
+  // self-terminator) may race to join the flushers — each claims the
+  // handles under the lock and joins outside it, so a thread is joined
+  // exactly once.
+  Mutex lifecycle_mutex_{LockRank::kClientLifecycle, "txn_client.lifecycle"};
+  std::vector<std::thread> flushers_ TFR_GUARDED_BY(lifecycle_mutex_);
+  std::thread self_terminator_ TFR_GUARDED_BY(lifecycle_mutex_);  // runs crash() (§3.1)
 
   std::atomic<std::int64_t> commits_{0};
   std::atomic<std::int64_t> aborts_{0};

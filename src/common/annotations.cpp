@@ -1,0 +1,89 @@
+// Runtime lock-rank validator (annotations.h Layer 2). Per-thread stack of
+// held locks; an acquisition whose rank is not strictly below every held
+// rank — or that re-enters a lock this thread already holds — prints both
+// "stacks" (the held locks with their acquire sites, and a backtrace of the
+// offending acquisition) and aborts. Deliberately fprintf/abort rather than
+// TFR_LOG/Status: the violation may well involve the logging lock itself,
+// and a lock-discipline break is never recoverable state.
+#include "src/common/annotations.h"
+
+#if TFR_LOCK_RANK
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#define TFR_HAVE_BACKTRACE 1
+#else
+#define TFR_HAVE_BACKTRACE 0
+#endif
+
+namespace tfr::lockrank {
+namespace {
+
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+  bool shared;
+  const char* file;
+  int line;
+};
+
+thread_local std::vector<Held> t_held;
+
+[[noreturn]] void die(const char* why, const Held& incoming) {
+  std::fprintf(stderr,
+               "\n==== tfr lock-rank violation: %s ====\n"
+               "attempting to acquire: %-24s rank %-3d (%s) at %s:%d\n"
+               "locks held by this thread (outermost first):\n",
+               why, incoming.name, incoming.rank, incoming.shared ? "shared" : "exclusive",
+               incoming.file, incoming.line);
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "  held: %-24s rank %-3d (%s) acquired at %s:%d\n", h.name, h.rank,
+                 h.shared ? "shared" : "exclusive", h.file, h.line);
+  }
+  std::fprintf(stderr, "rule: a thread may only acquire a mutex of strictly lower rank than\n"
+                       "every mutex it already holds (see DESIGN.md \"Lock ranks\").\n"
+                       "backtrace of the offending acquisition:\n");
+#if TFR_HAVE_BACKTRACE
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, /*stderr*/ 2);
+#else
+  std::fprintf(stderr, "  (backtrace unavailable on this platform)\n");
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void on_acquire(const void* mu, int rank, const char* name, bool shared, const char* file,
+                int line) {
+  const Held incoming{mu, rank, name, shared, file, line};
+  for (const Held& h : t_held) {
+    if (h.mu == mu) die("re-entrant acquisition", incoming);
+    if (rank >= h.rank) die("out-of-order acquisition", incoming);
+  }
+  t_held.push_back(incoming);
+}
+
+void on_release(const void* mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlock of a lock this thread does not hold: either an unlock from the
+  // wrong thread (UB on std::mutex) or wrapper misuse. Flag it loudly.
+  const Held incoming{mu, -1, "(unknown)", false, "(release)", 0};
+  die("release of a lock not held by this thread", incoming);
+}
+
+}  // namespace tfr::lockrank
+
+#endif  // TFR_LOCK_RANK

@@ -1,0 +1,312 @@
+// Thread-safety annotations + ranked mutex wrappers — the two enforcement
+// layers for the locking discipline that protects the paper's invariants
+// (TF = min_c TF(c), TP = min_s TP(s), the hook-gated region online rule).
+//
+// Layer 1 (compile time): Clang thread-safety-analysis macros. Under clang
+// with -Wthread-safety (cmake -DTFR_ANALYZE=ON) every TFR_GUARDED_BY /
+// TFR_REQUIRES violation is a build error; under gcc they expand to nothing.
+//
+// Layer 2 (runtime): a lock-rank validator (cmake -DTFR_LOCK_RANK=ON, the
+// default). Every tfr::Mutex carries a LockRank; a thread may only acquire a
+// mutex whose rank is *strictly lower* than the lowest rank it already holds
+// (locks are ranked outermost-highest, so acquisition order is strictly
+// descending). Re-entrant or out-of-order acquisition aborts the process,
+// printing the held-lock stack with acquire sites plus a backtrace of the
+// offending acquisition — turning a once-in-a-soak deadlock into a
+// deterministic one-line repro. See DESIGN.md "Lock ranks" for the table.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define TFR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TFR_THREAD_ANNOTATION(x)
+#endif
+
+#define TFR_CAPABILITY(x) TFR_THREAD_ANNOTATION(capability(x))
+#define TFR_SCOPED_CAPABILITY TFR_THREAD_ANNOTATION(scoped_lockable)
+#define TFR_GUARDED_BY(x) TFR_THREAD_ANNOTATION(guarded_by(x))
+#define TFR_PT_GUARDED_BY(x) TFR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define TFR_ACQUIRED_BEFORE(...) TFR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TFR_ACQUIRED_AFTER(...) TFR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define TFR_REQUIRES(...) TFR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TFR_REQUIRES_SHARED(...) TFR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define TFR_ACQUIRE(...) TFR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TFR_ACQUIRE_SHARED(...) TFR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define TFR_RELEASE(...) TFR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TFR_RELEASE_SHARED(...) TFR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TFR_RELEASE_GENERIC(...) TFR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TFR_TRY_ACQUIRE(...) TFR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TFR_EXCLUDES(...) TFR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define TFR_ASSERT_CAPABILITY(x) TFR_THREAD_ANNOTATION(assert_capability(x))
+#define TFR_RETURN_CAPABILITY(x) TFR_THREAD_ANNOTATION(lock_returned(x))
+#define TFR_NO_THREAD_SAFETY_ANALYSIS TFR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// The runtime validator is compiled in when TFR_LOCK_RANK is defined non-zero
+// (the cmake option of the same name, ON by default; benches can build with
+// -DTFR_LOCK_RANK=OFF to shave the per-acquire bookkeeping).
+#ifndef TFR_LOCK_RANK
+#define TFR_LOCK_RANK 0
+#endif
+
+namespace tfr {
+
+// ---------------------------------------------------------------------------
+// Lock ranks. Acquisition order is strictly DESCENDING: holding rank R, a
+// thread may only acquire ranks < R. Outermost locks (the testbed harness,
+// the recovery manager) have the highest ranks; utility leaves (metrics, the
+// log emit lock) the lowest. The values encode the edges actually taken at
+// runtime — e.g. PersistTracker deliberately holds its mutex across
+// Wal::sync (Algorithm 3's atomic probe-and-publish), so kRecoveryTracker >
+// kWalSync > kWal > kDfs. The full rationale lives in DESIGN.md.
+// ---------------------------------------------------------------------------
+enum class LockRank : int {
+  kLogging = 10,           // logging.cpp emit lock: innermost, logs happen under locks
+  kMetrics = 20,           // metrics.cpp counter registry
+  kLatencyModel = 30,      // latency.h jitter rng (taken under region/WAL locks)
+  kThreadingInternal = 40, // PeriodicTask / Semaphore / CountdownLatch internals
+  kQueue = 50,             // BlockingQueue / SyncedMinQueue (taken inside TM commit)
+  kFaultInjector = 60,     // fault.h rule table (probed under region locks via DFS)
+  kBlockCache = 70,        // block_cache.h LRU state
+  kServerHooks = 80,       // region_server.h hook/observer registration
+  kDfs = 90,               // dfs.h namespace + datanode map
+  kCoord = 100,            // coord.h sessions/kv (RM publishes TF/TP under its own lock)
+  kTxnLog = 110,           // txn_log.h records + group-commit lanes
+  kTxnManager = 120,       // txn_manager.h oracle/conflict table
+  kWal = 130,              // wal.h segment map
+  kWalSync = 140,          // wal.h sync serialization (outer of kWal)
+  kMaster = 150,           // master.h assignment map
+  kRegion = 160,           // region.h memstore + store-file list
+  kRegionServer = 170,     // region_server.h region map (outer of kRegion)
+  kClientLifecycle = 180,  // txn_client thread lifecycle (terminator/flushers)
+  kRecoveryTracker = 190,  // flush/persist tracker, recovery-client stats
+  kRecoveryManager = 200,  // recovery_manager.h TF/TP aggregation state
+  kHarness = 210,          // testbed.h RM swap lock (outermost: held across replays)
+  kLeaf = 40,              // default for ad-hoc mutexes: nest under anything
+};
+
+namespace lockrank {
+#if TFR_LOCK_RANK
+// Called with the mutex address *before* blocking on it, so an
+// order-violating acquisition aborts before it can deadlock.
+void on_acquire(const void* mu, int rank, const char* name, bool shared, const char* file,
+                int line);
+void on_release(const void* mu);
+#endif
+}  // namespace lockrank
+
+// ---------------------------------------------------------------------------
+// Annotated, ranked wrappers. These are the only lock primitives the tree
+// uses (scripts/lint.sh rejects raw std::mutex outside this header).
+// ---------------------------------------------------------------------------
+
+class TFR_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex") noexcept
+      : rank_(static_cast<int>(rank)), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(const char* file = __builtin_FILE(), int line = __builtin_LINE()) TFR_ACQUIRE() {
+    lock_impl(file, line);
+  }
+  void unlock() TFR_RELEASE() { unlock_impl(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+
+  void lock_impl(const char* file, int line) {
+#if TFR_LOCK_RANK
+    lockrank::on_acquire(this, rank_, name_, /*shared=*/false, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    impl_.lock();
+  }
+  void unlock_impl() {
+#if TFR_LOCK_RANK
+    lockrank::on_release(this);
+#endif
+    impl_.unlock();
+  }
+
+  std::mutex impl_;
+  const int rank_;
+  const char* const name_;
+};
+
+class TFR_CAPABILITY("mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf, const char* name = "shared_mutex") noexcept
+      : rank_(static_cast<int>(rank)), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock(const char* file = __builtin_FILE(), int line = __builtin_LINE()) TFR_ACQUIRE() {
+#if TFR_LOCK_RANK
+    lockrank::on_acquire(this, rank_, name_, /*shared=*/false, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    impl_.lock();
+  }
+  void unlock() TFR_RELEASE() {
+#if TFR_LOCK_RANK
+    lockrank::on_release(this);
+#endif
+    impl_.unlock();
+  }
+  void lock_shared(const char* file = __builtin_FILE(),
+                   int line = __builtin_LINE()) TFR_ACQUIRE_SHARED() {
+#if TFR_LOCK_RANK
+    lockrank::on_acquire(this, rank_, name_, /*shared=*/true, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    impl_.lock_shared();
+  }
+  void unlock_shared() TFR_RELEASE_SHARED() {
+#if TFR_LOCK_RANK
+    lockrank::on_release(this);
+#endif
+    impl_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex impl_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// std::unique_lock stand-in for tfr::Mutex: RAII acquire with manual
+/// unlock()/lock() (used around callbacks that must run unlocked) and the
+/// lock handle tfr::CondVar waits on.
+class TFR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) TFR_ACQUIRE(mu)
+      : mu_(&mu), file_(file), line_(line) {
+    mu_->lock_impl(file_, line_);
+    held_ = true;
+  }
+  ~MutexLock() TFR_RELEASE() {
+    if (held_) mu_->unlock_impl();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() TFR_RELEASE() {
+    mu_->unlock_impl();
+    held_ = false;
+  }
+  void lock() TFR_ACQUIRE() {
+    mu_->lock_impl(file_, line_);
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool held_ = false;
+  const char* file_;
+  int line_;
+};
+
+/// RAII exclusive lock on a SharedMutex.
+class TFR_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu, const char* file = __builtin_FILE(),
+                      int line = __builtin_LINE()) TFR_ACQUIRE(mu)
+      : mu_(&mu) {
+    mu_->lock(file, line);
+  }
+  ~WriterLock() TFR_RELEASE() { mu_->unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared lock on a SharedMutex.
+class TFR_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu, const char* file = __builtin_FILE(),
+                      int line = __builtin_LINE()) TFR_ACQUIRE_SHARED(mu)
+      : mu_(&mu) {
+    mu_->lock_shared(file, line);
+  }
+  ~ReaderLock() TFR_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable bound to tfr::Mutex via MutexLock. Waits release and
+/// re-acquire through the validator, so rank bookkeeping stays exact across
+/// blocking. Thread-safety analysis treats a wait as lockset-neutral (the
+/// lock is held again when it returns), which matches the explicit
+/// `while (!cond) cv.wait(lock);` pattern used throughout the tree —
+/// predicate lambdas would be analyzed as unlocked separate functions, so
+/// the wrappers intentionally do not take predicates.
+class CondVar {
+ public:
+  void wait(MutexLock& lock) {
+    Relocker r{&lock};
+    cv_.wait(r);
+  }
+
+  /// Returns false if `deadline` passed without a notification.
+  bool wait_until(MutexLock& lock, std::chrono::steady_clock::time_point deadline) {
+    Relocker r{&lock};
+    return cv_.wait_until(r, deadline) == std::cv_status::no_timeout;
+  }
+
+  /// Returns false on timeout.
+  bool wait_for(MutexLock& lock, std::int64_t timeout_micros) {
+    return wait_until(lock,
+                      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_micros));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // BasicLockable adapter handed to condition_variable_any: forwards to the
+  // un-annotated impl paths so the cv's internal unlock/relock neither trips
+  // the static analysis nor escapes the runtime validator.
+  struct Relocker {
+    MutexLock* l;
+    void lock() TFR_NO_THREAD_SAFETY_ANALYSIS {
+      l->mu_->lock_impl(l->file_, l->line_);
+      l->held_ = true;
+    }
+    void unlock() TFR_NO_THREAD_SAFETY_ANALYSIS {
+      l->mu_->unlock_impl();
+      l->held_ = false;
+    }
+  };
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tfr

@@ -24,20 +24,20 @@ bool target_matches(const std::string& rule_target, std::string_view target) {
 }  // namespace
 
 void FaultInjector::reseed(std::uint64_t seed) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   seed_ = seed;
   rng_ = Rng(seed);
 }
 
 std::uint64_t FaultInjector::seed() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return seed_;
 }
 
 int FaultInjector::add_rule(FaultRule rule) {
   int id;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     rules_.push_back(std::move(rule));
     id = static_cast<int>(rules_.size());
   }
@@ -47,7 +47,7 @@ int FaultInjector::add_rule(FaultRule rule) {
 
 void FaultInjector::clear_rules() {
   set_enabled(false);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
 }
 
@@ -55,7 +55,7 @@ FaultAction FaultInjector::inject(FaultOp op, std::string_view target) {
   FaultAction action;
   if (!enabled()) return action;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& rule : rules_) {
       if (rule.op != op || !target_matches(rule.target, target)) continue;
       ++stats_.evaluations;
@@ -115,12 +115,12 @@ Status FaultInjector::check(FaultOp op, std::string_view target) {
 }
 
 FaultStats FaultInjector::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void FaultInjector::reset_stats() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = FaultStats{};
 }
 

@@ -24,12 +24,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/annotations.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 
@@ -131,11 +131,11 @@ class FaultInjector {
  private:
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex mutex_;
-  std::uint64_t seed_ = 0;
-  Rng rng_{0};
-  std::vector<FaultRule> rules_;
-  FaultStats stats_;
+  mutable Mutex mutex_{LockRank::kFaultInjector, "fault_injector"};
+  std::uint64_t seed_ TFR_GUARDED_BY(mutex_) = 0;
+  Rng rng_ TFR_GUARDED_BY(mutex_){0};
+  std::vector<FaultRule> rules_ TFR_GUARDED_BY(mutex_);
+  FaultStats stats_ TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

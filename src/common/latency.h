@@ -6,8 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/random.h"
 
@@ -24,7 +24,7 @@ class LatencyModel {
     const Micros base = base_.load(std::memory_order_relaxed);
     const Micros jitter = jitter_mean_.load(std::memory_order_relaxed);
     if (jitter <= 0) return base;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return base + static_cast<Micros>(rng_.next_exponential(static_cast<double>(jitter)));
   }
 
@@ -47,8 +47,8 @@ class LatencyModel {
  private:
   std::atomic<Micros> base_{0};
   std::atomic<Micros> jitter_mean_{0};
-  std::mutex mutex_;
-  Rng rng_{0xfeedfaceULL};
+  Mutex mutex_{LockRank::kLatencyModel, "latency_rng"};
+  Rng rng_ TFR_GUARDED_BY(mutex_){0xfeedfaceULL};
 };
 
 }  // namespace tfr

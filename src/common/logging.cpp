@@ -1,15 +1,15 @@
 #include "src/common/logging.h"
 
 #include <cstdio>
-#include <mutex>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 
 namespace tfr {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWARN)};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex{LockRank::kLogging, "log_emit"};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -35,7 +35,7 @@ bool log_enabled(LogLevel level) {
 
 void log_emit(LogLevel level, const char* tag, const std::string& message) {
   const double t = static_cast<double>(now_micros()) / 1e6;
-  std::lock_guard lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%10.4f] %s [%-8s] %s\n", t, level_name(level), tag, message.c_str());
 }
 

@@ -6,13 +6,15 @@
 #include <memory>
 #include <sstream>
 
+#include "src/common/annotations.h"
+
 namespace tfr {
 
 namespace {
 struct CounterRegistry {
-  std::mutex mutex;
+  Mutex mutex{LockRank::kMetrics, "counter_registry"};
   // unique_ptr gives each Counter a stable address across rehashing.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Counter>> counters TFR_GUARDED_BY(mutex);
 };
 
 CounterRegistry& registry() {
@@ -23,7 +25,7 @@ CounterRegistry& registry() {
 
 Counter& global_counter(const std::string& name) {
   CounterRegistry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   auto& slot = r.counters[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -31,7 +33,7 @@ Counter& global_counter(const std::string& name) {
 
 std::vector<std::pair<std::string, std::int64_t>> global_counter_snapshot() {
   CounterRegistry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   std::vector<std::pair<std::string, std::int64_t>> out;
   out.reserve(r.counters.size());
   for (const auto& [name, counter] : r.counters) out.emplace_back(name, counter->get());
@@ -40,7 +42,7 @@ std::vector<std::pair<std::string, std::int64_t>> global_counter_snapshot() {
 
 void reset_global_counters() {
   CounterRegistry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (auto& [name, counter] : r.counters) counter->reset();
 }
 

@@ -2,14 +2,13 @@
 // client/server tracking structures of Algorithms 1 and 3.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <variant>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 
 namespace tfr {
@@ -21,7 +20,7 @@ class BlockingQueue {
  public:
   void push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return;
       items_.push_back(std::move(item));
     }
@@ -30,8 +29,8 @@ class BlockingQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) cv_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -40,9 +39,11 @@ class BlockingQueue {
 
   /// Waits up to `timeout` for an item; nullopt on timeout or closed+empty.
   std::optional<T> pop_for(Micros timeout) {
-    std::unique_lock lock(mutex_);
-    cv_.wait_for(lock, std::chrono::microseconds(timeout),
-                 [&] { return !items_.empty() || closed_; });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      if (!cv_.wait_until(lock, deadline)) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -51,7 +52,7 @@ class BlockingQueue {
 
   /// Removes and returns everything currently queued (non-blocking).
   std::vector<T> drain() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<T> out(std::make_move_iterator(items_.begin()),
                        std::make_move_iterator(items_.end()));
     items_.clear();
@@ -59,28 +60,28 @@ class BlockingQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{LockRank::kQueue, "blocking_queue"};
+  CondVar cv_;
+  std::deque<T> items_ TFR_GUARDED_BY(mutex_);
+  bool closed_ TFR_GUARDED_BY(mutex_) = false;
 };
 
 /// Synchronized min-priority queue keyed by a timestamp, as used for the
@@ -90,20 +91,20 @@ template <typename Ts, typename Payload = std::monostate>
 class SyncedMinQueue {
  public:
   void push(Ts key, Payload payload = {}) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     heap_.emplace(key, std::move(payload));
   }
 
   /// Smallest key currently queued, if any.
   std::optional<Ts> head() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (heap_.empty()) return std::nullopt;
     return heap_.top().first;
   }
 
   /// Removes and returns the smallest element.
   std::optional<std::pair<Ts, Payload>> pop() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (heap_.empty()) return std::nullopt;
     auto item = heap_.top();
     heap_.pop();
@@ -112,7 +113,7 @@ class SyncedMinQueue {
 
   /// Removes and returns all elements with key <= bound, smallest first.
   std::vector<std::pair<Ts, Payload>> pop_through(Ts bound) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::pair<Ts, Payload>> out;
     while (!heap_.empty() && heap_.top().first <= bound) {
       out.push_back(heap_.top());
@@ -122,7 +123,7 @@ class SyncedMinQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return heap_.size();
   }
 
@@ -134,8 +135,9 @@ class SyncedMinQueue {
       return a.first > b.first;
     }
   };
-  mutable std::mutex mutex_;
-  std::priority_queue<std::pair<Ts, Payload>, std::vector<std::pair<Ts, Payload>>, Greater> heap_;
+  mutable Mutex mutex_{LockRank::kQueue, "synced_min_queue"};
+  std::priority_queue<std::pair<Ts, Payload>, std::vector<std::pair<Ts, Payload>>, Greater> heap_
+      TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

@@ -3,20 +3,20 @@
 // countdown latch for test/bench synchronization.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 
 namespace tfr {
 
 /// Runs `fn` every `interval` microseconds on a dedicated thread until
 /// stopped. The first run happens after one interval. stop() joins the
-/// thread; it is safe to call from any thread except the task itself and is
-/// idempotent. The interval can be changed while running.
+/// thread; it is safe to call from any thread except the task itself, is
+/// idempotent, and concurrent stop() calls all block until the task has
+/// actually stopped. The interval can be changed while running.
 class PeriodicTask {
  public:
   PeriodicTask(std::function<void()> fn, Micros interval)
@@ -28,23 +28,38 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   void start() {
-    std::lock_guard lock(mutex_);
-    if (running_) return;
+    MutexLock lock(mutex_);
+    if (running_ || stopping_) return;
     running_ = true;
     stop_requested_ = false;
     thread_ = std::thread([this] { run(); });
   }
 
   void stop() {
+    std::thread to_join;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
+      if (stopping_) {
+        // Another stop() owns the join; wait until it finishes so every
+        // stop() caller can rely on "the task is gone" when it returns.
+        while (running_) cv_.wait(lock);
+        return;
+      }
       if (!running_) return;
+      stopping_ = true;
       stop_requested_ = true;
+      // Claim the handle under the lock; joining two threads on the same
+      // std::thread (the old unguarded joinable()/join() pattern) is UB.
+      to_join = std::move(thread_);
     }
     cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
-    std::lock_guard lock(mutex_);
-    running_ = false;
+    if (to_join.joinable()) to_join.join();
+    {
+      MutexLock lock(mutex_);
+      running_ = false;
+      stopping_ = false;
+    }
+    cv_.notify_all();
   }
 
   /// Takes effect immediately: the current wait is interrupted and restarts
@@ -52,7 +67,7 @@ class PeriodicTask {
   /// remainder of a long old one — heartbeat TTLs depend on this).
   void set_interval(Micros interval) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       interval_ = interval;
       ++config_epoch_;
     }
@@ -63,18 +78,21 @@ class PeriodicTask {
   void trigger_now() { fn_(); }
 
   bool running() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return running_ && !stop_requested_;
   }
 
  private:
   void run() {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     while (!stop_requested_) {
-      const auto wait = std::chrono::microseconds(interval_);
       const std::uint64_t epoch = config_epoch_;
-      cv_.wait_for(lock, wait,
-                   [&] { return stop_requested_ || config_epoch_ != epoch; });
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(interval_);
+      bool timed_out = false;
+      while (!timed_out && !stop_requested_ && config_epoch_ == epoch) {
+        timed_out = !cv_.wait_until(lock, deadline);
+      }
       if (stop_requested_) break;
       if (config_epoch_ != epoch) continue;  // reconfigured: restart the wait
       lock.unlock();
@@ -83,14 +101,15 @@ class PeriodicTask {
     }
   }
 
-  std::function<void()> fn_;
-  Micros interval_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  std::uint64_t config_epoch_ = 0;
+  std::function<void()> fn_;  // invoked unlocked, on the task thread only
+  mutable Mutex mutex_{LockRank::kThreadingInternal, "periodic_task"};
+  CondVar cv_;
+  Micros interval_ TFR_GUARDED_BY(mutex_);
+  std::thread thread_ TFR_GUARDED_BY(mutex_);
+  bool running_ TFR_GUARDED_BY(mutex_) = false;
+  bool stopping_ TFR_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ TFR_GUARDED_BY(mutex_) = false;
+  std::uint64_t config_epoch_ TFR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Counting semaphore with dynamic initial count (models a server's RPC
@@ -100,23 +119,23 @@ class Semaphore {
   explicit Semaphore(int count) : count_(count) {}
 
   void acquire() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return count_ > 0; });
+    MutexLock lock(mutex_);
+    while (count_ == 0) cv_.wait(lock);
     --count_;
   }
 
   void release() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       ++count_;
     }
     cv_.notify_one();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mutex_{LockRank::kThreadingInternal, "semaphore"};
+  CondVar cv_;
+  int count_ TFR_GUARDED_BY(mutex_);
 };
 
 /// RAII slot holder for Semaphore.
@@ -137,25 +156,29 @@ class CountdownLatch {
   explicit CountdownLatch(int count) : count_(count) {}
 
   void count_down() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (count_ > 0 && --count_ == 0) cv_.notify_all();
   }
 
   void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+    MutexLock lock(mutex_);
+    while (count_ != 0) cv_.wait(lock);
   }
 
   /// Returns false on timeout.
   bool wait_for(Micros timeout) {
-    std::unique_lock lock(mutex_);
-    return cv_.wait_for(lock, std::chrono::microseconds(timeout), [&] { return count_ == 0; });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+    MutexLock lock(mutex_);
+    while (count_ != 0) {
+      if (!cv_.wait_until(lock, deadline)) return count_ == 0;
+    }
+    return true;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mutex_{LockRank::kThreadingInternal, "countdown_latch"};
+  CondVar cv_;
+  int count_ TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

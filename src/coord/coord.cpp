@@ -19,7 +19,7 @@ Coord::~Coord() { checker_.stop(); }
 
 Status Coord::create_session(const std::string& group, const std::string& name, Micros ttl,
                              HeartbeatPayload initial_payload) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto key = key_of(group, name);
   auto it = sessions_.find(key);
   if (it != sessions_.end() && it->second.info.alive) {
@@ -37,7 +37,7 @@ Status Coord::create_session(const std::string& group, const std::string& name, 
 
 Status Coord::heartbeat(const std::string& group, const std::string& name,
                         HeartbeatPayload payload) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(key_of(group, name));
   if (it == sessions_.end() || !it->second.info.alive) {
     // The node was already declared dead; its messages are ignored until
@@ -50,7 +50,7 @@ Status Coord::heartbeat(const std::string& group, const std::string& name,
 }
 
 Status Coord::update_ttl(const std::string& group, const std::string& name, Micros ttl) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(key_of(group, name));
   if (it == sessions_.end() || !it->second.info.alive) {
     return Status::not_found("no live session: " + key_of(group, name));
@@ -64,7 +64,7 @@ Status Coord::close_session(const std::string& group, const std::string& name) {
   SessionInfo info;
   std::vector<SessionListener> to_notify;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = sessions_.find(key_of(group, name));
     if (it == sessions_.end() || !it->second.info.alive) {
       return Status::not_found("no live session: " + key_of(group, name));
@@ -80,7 +80,7 @@ Status Coord::close_session(const std::string& group, const std::string& name) {
   }
   for (auto& l : to_notify) l(info, /*expired=*/false);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --callbacks_in_flight_;
   }
   quiesce_cv_.notify_all();
@@ -88,7 +88,7 @@ Status Coord::close_session(const std::string& group, const std::string& name) {
 }
 
 std::vector<SessionInfo> Coord::live_sessions(const std::string& group) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SessionInfo> out;
   for (const auto& [key, s] : sessions_) {
     if (s.info.group == group && s.info.alive) out.push_back(s.info);
@@ -98,21 +98,21 @@ std::vector<SessionInfo> Coord::live_sessions(const std::string& group) const {
 
 std::optional<SessionInfo> Coord::session(const std::string& group,
                                           const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(key_of(group, name));
   if (it == sessions_.end()) return std::nullopt;
   return it->second.info;
 }
 
 int Coord::add_listener(const std::string& group, SessionListener listener) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const int id = next_listener_id_++;
   listeners_[group].emplace_back(id, std::move(listener));
   return id;
 }
 
 void Coord::remove_listener(const std::string& group, int id) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = listeners_.find(group);
   if (it != listeners_.end()) {
     auto& vec = it->second;
@@ -126,28 +126,28 @@ void Coord::remove_listener(const std::string& group, int id) {
   // Quiesce: a callback batch may have copied this listener before the
   // erase; wait until no callback is executing so the caller can safely
   // destroy the listener's target.
-  quiesce_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
+  while (callbacks_in_flight_ != 0) quiesce_cv_.wait(lock);
 }
 
 void Coord::put(const std::string& path, std::int64_t value) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   kv_[path] = value;
 }
 
 std::optional<std::int64_t> Coord::get(const std::string& path) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = kv_.find(path);
   if (it == kv_.end()) return std::nullopt;
   return it->second;
 }
 
 void Coord::erase(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   kv_.erase(path);
 }
 
 std::vector<std::pair<std::string, std::int64_t>> Coord::list(const std::string& prefix) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -161,7 +161,7 @@ void Coord::run_expiry_check() { expiry_scan(); }
 void Coord::expiry_scan() {
   std::vector<std::pair<SessionInfo, std::vector<SessionListener>>> expired;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++callbacks_in_flight_;
     const Micros now = now_micros();
     for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -186,7 +186,7 @@ void Coord::expiry_scan() {
     for (auto& l : ls) l(info, /*expired=*/true);
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --callbacks_in_flight_;
   }
   quiesce_cv_.notify_all();

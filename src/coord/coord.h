@@ -19,14 +19,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/common/annotations.h"
 #include "src/common/threading.h"
 
 namespace tfr {
@@ -115,13 +114,14 @@ class Coord {
     Micros ttl = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Session> sessions_;  // key = group + "/" + name
-  std::map<std::string, std::vector<std::pair<int, SessionListener>>> listeners_;
-  int next_listener_id_ = 1;
-  int callbacks_in_flight_ = 0;
-  std::condition_variable quiesce_cv_;
-  std::map<std::string, std::int64_t> kv_;
+  mutable Mutex mutex_{LockRank::kCoord, "coord"};
+  std::map<std::string, Session> sessions_ TFR_GUARDED_BY(mutex_);  // key = group + "/" + name
+  std::map<std::string, std::vector<std::pair<int, SessionListener>>> listeners_
+      TFR_GUARDED_BY(mutex_);
+  int next_listener_id_ TFR_GUARDED_BY(mutex_) = 1;
+  int callbacks_in_flight_ TFR_GUARDED_BY(mutex_) = 0;
+  CondVar quiesce_cv_;
+  std::map<std::string, std::int64_t> kv_ TFR_GUARDED_BY(mutex_);
   PeriodicTask checker_;
 };
 

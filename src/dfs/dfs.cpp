@@ -14,14 +14,14 @@ Dfs::Dfs(DfsConfig config)
       datanode_up_(static_cast<std::size_t>(config.num_datanodes), true) {}
 
 Status Dfs::create(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = files_.try_emplace(path);
   if (!inserted) return Status::already_exists("dfs file exists: " + path);
   return Status::ok();
 }
 
 Status Dfs::append(const std::string& path, std::string_view data) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs append: " + path);
   if (!it->second.open) return Status::closed("dfs file closed: " + path);
@@ -44,7 +44,7 @@ void Dfs::place_blocks(File& f) {
 Result<std::uint64_t> Dfs::sync(const std::string& path) {
   std::uint64_t target = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::not_found("dfs sync: " + path);
     target = it->second.data.size();
@@ -57,7 +57,7 @@ Result<std::uint64_t> Dfs::sync(const std::string& path) {
     TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kDfsSync, path));
   }
   sync_model_.charge();  // pipeline ack from `replication` datanodes
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs sync (removed): " + path);
   File& f = it->second;
@@ -79,7 +79,7 @@ Status Dfs::write_file(const std::string& path, std::string_view data) {
 }
 
 Status Dfs::close(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs close: " + path);
   it->second.open = false;
@@ -87,7 +87,7 @@ Status Dfs::close(const std::string& path) {
 }
 
 void Dfs::writer_crashed(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return;
   File& f = it->second;
@@ -112,7 +112,7 @@ Result<std::string> Dfs::read(const std::string& path, std::uint64_t offset, std
   int blocks_touched = 0;
   std::string out;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::not_found("dfs read: " + path);
     const File& f = it->second;
@@ -142,25 +142,25 @@ Result<std::string> Dfs::read_all(const std::string& path) {
 }
 
 Result<std::uint64_t> Dfs::durable_size(const std::string& path) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs size: " + path);
   return it->second.durable;
 }
 
 bool Dfs::exists(const std::string& path) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.count(path) > 0;
 }
 
 Status Dfs::remove(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (files_.erase(path) == 0) return Status::not_found("dfs remove: " + path);
   return Status::ok();
 }
 
 std::vector<std::string> Dfs::list(const std::string& prefix) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -170,7 +170,7 @@ std::vector<std::string> Dfs::list(const std::string& prefix) const {
 }
 
 Status Dfs::corrupt_byte(const std::string& path, std::uint64_t offset) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs corrupt: " + path);
   if (offset >= it->second.durable) return Status::invalid_argument("offset past durable data");
@@ -179,21 +179,21 @@ Status Dfs::corrupt_byte(const std::string& path, std::uint64_t offset) {
 }
 
 Status Dfs::fail_datanode(int node) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (node < 0 || node >= config_.num_datanodes) return Status::invalid_argument("bad datanode");
   datanode_up_[static_cast<std::size_t>(node)] = false;
   return Status::ok();
 }
 
 Status Dfs::restart_datanode(int node) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (node < 0 || node >= config_.num_datanodes) return Status::invalid_argument("bad datanode");
   datanode_up_[static_cast<std::size_t>(node)] = true;
   return Status::ok();
 }
 
 DfsStats Dfs::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/latency.h"
 #include "src/common/status.h"
 
@@ -113,20 +113,20 @@ class Dfs {
     bool open = true;
   };
 
-  // Requires lock held. Assigns datanodes for newly durable blocks.
-  void place_blocks(File& f);
-  bool block_readable(const Block& b) const;
+  // Assigns datanodes for newly durable blocks.
+  void place_blocks(File& f) TFR_REQUIRES(mutex_);
+  bool block_readable(const Block& b) const TFR_REQUIRES(mutex_);
 
   DfsConfig config_;
   LatencyModel sync_model_;
   LatencyModel read_model_;
   FaultInjector* fault_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, File> files_;
-  std::vector<bool> datanode_up_;
-  int next_datanode_ = 0;
-  DfsStats stats_;
+  mutable Mutex mutex_{LockRank::kDfs, "dfs"};
+  std::map<std::string, File> files_ TFR_GUARDED_BY(mutex_);
+  std::vector<bool> datanode_up_ TFR_GUARDED_BY(mutex_);
+  int next_datanode_ TFR_GUARDED_BY(mutex_) = 0;
+  DfsStats stats_ TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

@@ -5,7 +5,7 @@ namespace tfr {
 Result<BlockPtr> BlockCache::get_or_load(const std::string& key,
                                          const std::function<Result<BlockPtr>()>& loader) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -20,7 +20,7 @@ Result<BlockPtr> BlockCache::get_or_load(const std::string& key,
   if (!loaded.is_ok()) return loaded;
   BlockPtr block = loaded.value();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -48,7 +48,7 @@ void BlockCache::evict_to_fit_locked() {
 }
 
 void BlockCache::invalidate_prefix(const std::string& prefix) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
       stats_.bytes -= static_cast<std::int64_t>(it->second.block->byte_size);
@@ -61,14 +61,14 @@ void BlockCache::invalidate_prefix(const std::string& prefix) {
 }
 
 void BlockCache::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   map_.clear();
   lru_.clear();
   stats_.bytes = 0;
 }
 
 BlockCacheStats BlockCache::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -11,11 +11,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/kv/types.h"
 
@@ -57,17 +57,17 @@ class BlockCache {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  void evict_to_fit_locked();
+  void evict_to_fit_locked() TFR_REQUIRES(mutex_);
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<std::string> lru_;  // front = most recent
+  mutable Mutex mutex_{LockRank::kBlockCache, "block_cache"};
+  std::list<std::string> lru_ TFR_GUARDED_BY(mutex_);  // front = most recent
   struct Entry {
     BlockPtr block;
     std::list<std::string>::iterator lru_it;
   };
-  std::unordered_map<std::string, Entry> map_;
-  BlockCacheStats stats_;
+  std::unordered_map<std::string, Entry> map_ TFR_GUARDED_BY(mutex_);
+  BlockCacheStats stats_ TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

@@ -25,7 +25,7 @@ void Master::stop() {
     listener_id_ = 0;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;  // release a recovery held for hooks that won't come
   }
   idle_cv_.notify_all();
@@ -34,18 +34,18 @@ void Master::stop() {
 }
 
 void Master::add_server(RegionServer* server) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   servers_[server->id()] = server;
   server_alive_[server->id()] = true;
   server_wal_paths_[server->id()] = server->wal_path();
 }
 
 void Master::set_hooks(MasterHooks* hooks) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Quiesce: the recovery worker snapshots hooks_ before calling into it, so
   // wait out any in-flight invocation before letting the caller retire the
   // old hooks object.
-  idle_cv_.wait(lock, [&] { return hook_calls_in_flight_ == 0; });
+  while (hook_calls_in_flight_ != 0) idle_cv_.wait(lock);
   hooks_ = hooks;
   if (hooks != nullptr) hooks_ever_set_ = true;
   lock.unlock();
@@ -77,7 +77,7 @@ Status Master::create_table(const std::string& table, const std::vector<std::str
 
   std::vector<std::pair<RegionDescriptor, RegionServer*>> plan;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& d : descs) {
       if (assignment_.count(d.name())) {
         return Status::already_exists("table exists: " + table);
@@ -99,7 +99,7 @@ Status Master::create_table(const std::string& table, const std::vector<std::str
 }
 
 Result<RegionLocation> Master::locate(const std::string& table, const std::string& row) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, loc] : assignment_) {
     if (loc.descriptor.table == table && loc.descriptor.contains(row)) return loc;
   }
@@ -107,7 +107,7 @@ Result<RegionLocation> Master::locate(const std::string& table, const std::strin
 }
 
 std::vector<RegionLocation> Master::table_regions(const std::string& table) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<RegionLocation> out;
   for (const auto& [name, loc] : assignment_) {
     if (loc.descriptor.table == table) out.push_back(loc);
@@ -116,20 +116,20 @@ std::vector<RegionLocation> Master::table_regions(const std::string& table) cons
 }
 
 Result<RegionLocation> Master::region_by_name(const std::string& region_name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = assignment_.find(region_name);
   if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
   return it->second;
 }
 
 RegionServer* Master::server_stub(const std::string& server_id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = servers_.find(server_id);
   return it == servers_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Master::live_servers() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [id, alive] : server_alive_) {
     if (alive) out.push_back(id);
@@ -141,7 +141,7 @@ Status Master::split_region(const std::string& region_name) {
   RegionLocation loc;
   RegionServer* stub = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = assignment_.find(region_name);
     if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
     loc = it->second;
@@ -153,7 +153,7 @@ Status Master::split_region(const std::string& region_name) {
   if (!children.is_ok()) return children.status();
   const auto& [left, right] = children.value();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     assignment_.erase(region_name);
     assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id};
     assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id};
@@ -168,7 +168,7 @@ Status Master::move_region(const std::string& region_name, const std::string& ta
   RegionServer* source = nullptr;
   RegionServer* target = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = assignment_.find(region_name);
     if (it == assignment_.end()) return Status::not_found("unknown region: " + region_name);
     loc = it->second;
@@ -185,7 +185,7 @@ Status Master::move_region(const std::string& region_name, const std::string& ta
   // retries land on the target while it opens the region from store files.
   TFR_RETURN_IF_ERROR(source->offload_region(region_name));
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     assignment_[region_name] = RegionLocation{region_name, loc.descriptor, target_server};
   }
   Status opened = target->open_region(loc.descriptor, {});
@@ -205,7 +205,7 @@ Result<int> Master::rebalance() {
   // Build the per-server load map.
   std::map<std::string, std::vector<std::string>> by_server;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [id, alive] : server_alive_) {
       if (alive) by_server[id];
     }
@@ -237,7 +237,7 @@ Result<int> Master::rebalance() {
 
 void Master::on_session_event(const SessionInfo& info, bool expired) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = server_alive_.find(info.name);
     if (it == server_alive_.end() || !it->second) return;  // unknown or already handled
     it->second = false;
@@ -251,7 +251,7 @@ void Master::recovery_worker() {
   while (auto item = failures_.pop()) {
     handle_server_down(item->first, item->second);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_recoveries_;
     }
     idle_cv_.notify_all();
@@ -259,8 +259,8 @@ void Master::recovery_worker() {
 }
 
 void Master::wait_for_idle() const {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return in_flight_recoveries_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_recoveries_ != 0) idle_cv_.wait(lock);
 }
 
 void Master::handle_server_down(const std::string& server_id, bool crashed) {
@@ -269,7 +269,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
   MasterHooks* hooks = nullptr;
   std::string wal_path;
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     // A crash landing in the recovery middleware's restart window — hooks
     // detached, the fresh instance not yet installed — must not proceed
     // hook-less: no pending-region entry or durable /tfr/recovering marker
@@ -277,7 +277,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
     // regions would come online without transactional replay. Hold the
     // recovery until the new hooks arrive (or the master shuts down).
     if (crashed && hooks_ever_set_) {
-      idle_cv_.wait(lock, [&] { return hooks_ != nullptr || stopping_; });
+      while (hooks_ == nullptr && !stopping_) idle_cv_.wait(lock);
     }
     for (const auto& [name, loc] : assignment_) {
       if (loc.server_id == server_id) affected.push_back(loc);
@@ -294,7 +294,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
   // (it snapshots TP(s) for the replay bound).
   if (hooks && crashed) hooks->on_server_failure(server_id, region_names);
   if (hooks != nullptr) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --hook_calls_in_flight_;
     idle_cv_.notify_all();
   }
@@ -341,7 +341,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       std::string target;
       RegionServer* stub = nullptr;
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         target = pick_live_server_locked(salt++);
         if (!target.empty()) stub = servers_.at(target);
       }
@@ -353,7 +353,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       {
         // Publish the new location first: clients retrying against the dead
         // server re-locate here and keep retrying until the region is online.
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         assignment_[loc.region_name] =
             RegionLocation{loc.region_name, loc.descriptor, target};
       }
@@ -369,7 +369,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       TFR_LOG(WARN, "master") << "open_region " << loc.region_name << " on " << target
                               << " failed: " << s << "; retrying elsewhere";
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         // Treat the uncooperative target as suspect only if it is dead;
         // otherwise (e.g. already-open race) move on.
         if (!stub->alive()) server_alive_[target] = false;

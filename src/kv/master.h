@@ -18,11 +18,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/queue.h"
 #include "src/coord/coord.h"
 #include "src/dfs/dfs.h"
@@ -103,22 +103,22 @@ class Master {
   void on_session_event(const SessionInfo& info, bool expired);
   void recovery_worker();
   void handle_server_down(const std::string& server_id, bool crashed);
-  std::string pick_live_server_locked(std::size_t salt) const;
+  std::string pick_live_server_locked(std::size_t salt) const TFR_REQUIRES(mutex_);
 
   Dfs* dfs_;
   Coord* coord_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, RegionServer*> servers_;           // all ever registered
-  std::map<std::string, bool> server_alive_;
-  std::map<std::string, RegionLocation> assignment_;       // region name -> location
-  std::map<std::string, std::string> server_wal_paths_;
-  MasterHooks* hooks_ = nullptr;
-  bool hooks_ever_set_ = false;  // a recovery middleware exists for this master
-  bool stopping_ = false;
-  int hook_calls_in_flight_ = 0;
-  int in_flight_recoveries_ = 0;
-  mutable std::condition_variable idle_cv_;
+  mutable Mutex mutex_{LockRank::kMaster, "master"};
+  std::map<std::string, RegionServer*> servers_ TFR_GUARDED_BY(mutex_);  // all ever registered
+  std::map<std::string, bool> server_alive_ TFR_GUARDED_BY(mutex_);
+  std::map<std::string, RegionLocation> assignment_ TFR_GUARDED_BY(mutex_);  // region -> location
+  std::map<std::string, std::string> server_wal_paths_ TFR_GUARDED_BY(mutex_);
+  MasterHooks* hooks_ TFR_GUARDED_BY(mutex_) = nullptr;
+  bool hooks_ever_set_ TFR_GUARDED_BY(mutex_) = false;  // a recovery middleware exists
+  bool stopping_ TFR_GUARDED_BY(mutex_) = false;
+  int hook_calls_in_flight_ TFR_GUARDED_BY(mutex_) = 0;
+  int in_flight_recoveries_ TFR_GUARDED_BY(mutex_) = 0;
+  mutable CondVar idle_cv_;
 
   BlockingQueue<std::pair<std::string, bool>> failures_;   // (server, crashed?)
   std::thread worker_;

@@ -37,7 +37,7 @@ Region::Region(RegionDescriptor desc, Dfs& dfs, BlockCache& cache,
 std::string Region::data_dir() const { return "/data/" + sanitize(desc_.name()) + "/"; }
 
 Status Region::load_store_files() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   files_.clear();
   // Store files are numbered; open newest-last and order newest-first.
   auto paths = dfs_->list(data_dir());
@@ -58,13 +58,13 @@ Status Region::load_store_files() {
 }
 
 void Region::apply(const std::vector<Cell>& cells, std::uint64_t wal_seq) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& c : cells) memstore_.apply(c);
   if (wal_seq != 0 && min_unflushed_wal_seq_ == 0) min_unflushed_wal_seq_ = wal_seq;
 }
 
 std::uint64_t Region::min_unflushed_wal_seq() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return min_unflushed_wal_seq_;
 }
 
@@ -73,7 +73,7 @@ Result<std::optional<Cell>> Region::get(const std::string& row, const std::strin
   std::optional<Cell> best;
   std::vector<std::shared_ptr<StoreFileReader>> files;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     best = memstore_.get(row, column, read_ts);
     files = files_;  // cheap shared_ptr copies; DFS reads happen unlocked
   }
@@ -94,7 +94,7 @@ Result<std::vector<Cell>> Region::scan(const std::string& start, const std::stri
   std::vector<Cell> mem;
   std::vector<std::shared_ptr<StoreFileReader>> files;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     mem = memstore_.scan(start, end, read_ts);
     files = files_;
   }
@@ -127,7 +127,7 @@ Result<std::vector<Cell>> Region::scan(const std::string& start, const std::stri
 }
 
 Status Region::flush_memstore() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (memstore_.cell_count() == 0) return Status::ok();
   StoreFileWriter writer(store_block_bytes_);
   for (const auto& c : memstore_.snapshot()) writer.add(c);
@@ -160,7 +160,7 @@ Status Region::compact(Timestamp prune_before_ts) {
   // result only if no flush changed the file set meanwhile.
   std::vector<std::shared_ptr<StoreFileReader>> inputs;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (files_.size() < 2) return Status::ok();
     inputs = files_;
   }
@@ -202,7 +202,7 @@ Status Region::compact(Timestamp prune_before_ts) {
 
   std::string path;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     path = data_dir() + "sf-" + std::to_string(next_file_id_++);
   }
   TFR_RETURN_IF_ERROR(writer.finish(*dfs_, path));
@@ -211,7 +211,7 @@ Status Region::compact(Timestamp prune_before_ts) {
 
   std::vector<std::string> obsolete;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // A flush that landed mid-compaction added a file we have not merged;
     // bail out (the new merged file is discarded) and let the caller retry.
     if (files_.size() != inputs.size() ||
@@ -236,7 +236,7 @@ Result<std::vector<Cell>> Region::dump_cells() {
   std::vector<std::shared_ptr<StoreFileReader>> files;
   std::vector<Cell> mem;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     files = files_;
     mem = memstore_.snapshot();
   }
@@ -250,12 +250,12 @@ Result<std::vector<Cell>> Region::dump_cells() {
 }
 
 std::size_t Region::memstore_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return memstore_.byte_size();
 }
 
 std::size_t Region::store_file_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.size();
 }
 

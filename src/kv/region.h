@@ -16,13 +16,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/dfs/dfs.h"
 #include "src/kv/block_cache.h"
+#include "src/common/annotations.h"
 #include "src/kv/memstore.h"
 #include "src/kv/store_file.h"
 #include "src/kv/types.h"
@@ -103,11 +103,11 @@ class Region {
   std::size_t store_block_bytes_;
   std::atomic<RegionState> state_{RegionState::kOpening};
 
-  mutable std::mutex mutex_;  // guards memstore_ and files_
-  Memstore memstore_;
-  std::vector<std::shared_ptr<StoreFileReader>> files_;  // newest first
-  std::uint64_t next_file_id_ = 0;
-  std::uint64_t min_unflushed_wal_seq_ = 0;
+  mutable Mutex mutex_{LockRank::kRegion, "region"};
+  Memstore memstore_ TFR_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<StoreFileReader>> files_ TFR_GUARDED_BY(mutex_);  // newest first
+  std::uint64_t next_file_id_ TFR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t min_unflushed_wal_seq_ TFR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tfr

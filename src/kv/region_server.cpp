@@ -25,7 +25,7 @@ RegionServer::RegionServer(std::string id, Dfs& dfs, Coord& coord, RegionServerC
 RegionServer::~RegionServer() {
   heartbeats_.stop();
   wal_syncer_.stop();
-  std::lock_guard lock(terminator_mutex_);
+  MutexLock lock(terminator_mutex_);
   if (self_terminator_.joinable()) self_terminator_.join();
 }
 
@@ -37,7 +37,7 @@ Status RegionServer::start() {
   // TP(s) so the session never reports a meaningless payload.
   PreHeartbeatHook hook;
   {
-    std::lock_guard lock(hooks_mutex_);
+    MutexLock lock(hooks_mutex_);
     hook = pre_heartbeat_hook_;
   }
   const Timestamp initial_payload = hook ? hook() : 0;
@@ -55,7 +55,7 @@ Status RegionServer::shutdown() {
   heartbeats_.stop();
   wal_syncer_.stop();
   {
-    std::shared_lock lock(regions_mutex_);
+    ReaderLock lock(regions_mutex_);
     for (auto& [name, region] : regions_) {
       TFR_RETURN_IF_ERROR(region->flush_memstore());
       region->set_state(RegionState::kOffline);
@@ -65,7 +65,7 @@ Status RegionServer::shutdown() {
   // Pre-shutdown heartbeat: report final progress, then unregister cleanly.
   PreHeartbeatHook hook;
   {
-    std::lock_guard lock(hooks_mutex_);
+    MutexLock lock(hooks_mutex_);
     hook = pre_heartbeat_hook_;
   }
   const Timestamp payload = hook ? hook() : 0;
@@ -80,7 +80,7 @@ void RegionServer::crash() {
   heartbeats_.stop();
   wal_syncer_.stop();
   {
-    std::shared_lock lock(regions_mutex_);
+    ReaderLock lock(regions_mutex_);
     for (auto& [name, region] : regions_) region->set_state(RegionState::kOffline);
   }
   wal_->crash();  // the un-synced tail is gone
@@ -93,7 +93,7 @@ void RegionServer::heartbeat_tick() {
   if (!alive()) return;
   PreHeartbeatHook hook;
   {
-    std::lock_guard lock(hooks_mutex_);
+    MutexLock lock(hooks_mutex_);
     hook = pre_heartbeat_hook_;
   }
   maybe_roll_wal();
@@ -104,7 +104,7 @@ void RegionServer::heartbeat_tick() {
     // HBase server aborts in this situation; do the same so no stale node
     // keeps serving. crash() joins this thread, so delegate.
     TFR_LOG(WARN, "rs") << id_ << " declared dead by the cluster; terminating";
-    std::lock_guard lock(terminator_mutex_);
+    MutexLock lock(terminator_mutex_);
     if (!self_terminator_.joinable()) {
       self_terminator_ = std::thread([this] { crash(); });
     }
@@ -121,7 +121,7 @@ std::uint64_t RegionServer::wal_truncation_bound() const {
   // A segment is reclaimable once every region's un-flushed edits start
   // after it. Regions whose memstore is fully flushed do not constrain.
   std::uint64_t bound = wal_->appended_seq() + 1;
-  std::shared_lock lock(regions_mutex_);
+  ReaderLock lock(regions_mutex_);
   for (const auto& [name, region] : regions_) {
     const std::uint64_t first = region->min_unflushed_wal_seq();
     if (first != 0) bound = std::min(bound, first);
@@ -142,7 +142,7 @@ void RegionServer::maybe_roll_wal() {
 
 std::shared_ptr<Region> RegionServer::region_for(const std::string& table,
                                                  const std::string& row) const {
-  std::shared_lock lock(regions_mutex_);
+  ReaderLock lock(regions_mutex_);
   for (const auto& [name, region] : regions_) {
     const auto& d = region->descriptor();
     if (d.table == table && d.contains(row)) return region;
@@ -236,7 +236,7 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
 
   WritesetObserver observer;
   {
-    std::lock_guard lock(hooks_mutex_);
+    MutexLock lock(hooks_mutex_);
     observer = writeset_observer_;
   }
   if (observer) observer(req.commit_ts, req.piggyback_tp);
@@ -308,7 +308,7 @@ Status RegionServer::open_region(const RegionDescriptor& desc,
   if (!alive()) return Status::unavailable("server down: " + id_);
   auto region = std::make_shared<Region>(desc, *dfs_, cache_, config_.store_block_bytes);
   {
-    std::unique_lock lock(regions_mutex_);
+    WriterLock lock(regions_mutex_);
     if (regions_.count(desc.name())) {
       return Status::already_exists("region already open on " + id_ + ": " + desc.name());
     }
@@ -336,7 +336,7 @@ Status RegionServer::open_region(const RegionDescriptor& desc,
   // online, hand control to the recovery manager (§3.2).
   RegionGate gate;
   {
-    std::lock_guard lock(hooks_mutex_);
+    MutexLock lock(hooks_mutex_);
     gate = region_gate_;
   }
   if (gate) {
@@ -395,11 +395,11 @@ Result<std::pair<RegionDescriptor, RegionDescriptor>> RegionServer::split_region
     region_obj->apply(child_cells);
     TFR_RETURN_IF_ERROR(region_obj->flush_memstore());
     region_obj->set_state(RegionState::kOnline);
-    std::unique_lock lock(regions_mutex_);
+    WriterLock lock(regions_mutex_);
     regions_[child.name()] = std::move(region_obj);
   }
   {
-    std::unique_lock lock(regions_mutex_);
+    WriterLock lock(regions_mutex_);
     regions_.erase(region_name);
   }
   TFR_LOG(INFO, "rs") << id_ << " split " << region_name << " at '" << split_key << "'";
@@ -412,7 +412,7 @@ Status RegionServer::offload_region(const std::string& region_name) {
   if (!target) return Status::not_found("region not open: " + region_name);
   target->set_state(RegionState::kOffline);
   TFR_RETURN_IF_ERROR(target->flush_memstore());
-  std::unique_lock lock(regions_mutex_);
+  WriterLock lock(regions_mutex_);
   regions_.erase(region_name);
   return Status::ok();
 }
@@ -425,7 +425,7 @@ Status RegionServer::compact_region(const std::string& region_name,
 }
 
 Status RegionServer::close_region(const std::string& region_name) {
-  std::unique_lock lock(regions_mutex_);
+  WriterLock lock(regions_mutex_);
   auto it = regions_.find(region_name);
   if (it == regions_.end()) return Status::not_found("region not open: " + region_name);
   it->second->set_state(RegionState::kOffline);
@@ -439,28 +439,28 @@ Status RegionServer::persist_wal() {
 }
 
 void RegionServer::set_writeset_observer(WritesetObserver observer) {
-  std::lock_guard lock(hooks_mutex_);
+  MutexLock lock(hooks_mutex_);
   writeset_observer_ = std::move(observer);
 }
 
 void RegionServer::set_pre_heartbeat_hook(PreHeartbeatHook hook) {
-  std::lock_guard lock(hooks_mutex_);
+  MutexLock lock(hooks_mutex_);
   pre_heartbeat_hook_ = std::move(hook);
 }
 
 void RegionServer::set_region_gate(RegionGate gate) {
-  std::lock_guard lock(hooks_mutex_);
+  MutexLock lock(hooks_mutex_);
   region_gate_ = std::move(gate);
 }
 
 std::shared_ptr<Region> RegionServer::region(const std::string& name) const {
-  std::shared_lock lock(regions_mutex_);
+  ReaderLock lock(regions_mutex_);
   auto it = regions_.find(name);
   return it == regions_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> RegionServer::region_names() const {
-  std::shared_lock lock(regions_mutex_);
+  ReaderLock lock(regions_mutex_);
   std::vector<std::string> out;
   for (const auto& [name, r] : regions_) out.push_back(name);
   return out;

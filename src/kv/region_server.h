@@ -25,12 +25,12 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/latency.h"
+#include "src/common/annotations.h"
 #include "src/common/threading.h"
 #include "src/coord/coord.h"
 #include "src/dfs/dfs.h"
@@ -220,19 +220,19 @@ class RegionServer {
   LatencyModel read_service_;
   LatencyModel write_service_;
 
-  mutable std::shared_mutex regions_mutex_;
-  std::map<std::string, std::shared_ptr<Region>> regions_;
+  mutable SharedMutex regions_mutex_{LockRank::kRegionServer, "region_server.regions"};
+  std::map<std::string, std::shared_ptr<Region>> regions_ TFR_GUARDED_BY(regions_mutex_);
 
-  std::mutex hooks_mutex_;
-  WritesetObserver writeset_observer_;
-  PreHeartbeatHook pre_heartbeat_hook_;
-  RegionGate region_gate_;
+  Mutex hooks_mutex_{LockRank::kServerHooks, "region_server.hooks"};
+  WritesetObserver writeset_observer_ TFR_GUARDED_BY(hooks_mutex_);
+  PreHeartbeatHook pre_heartbeat_hook_ TFR_GUARDED_BY(hooks_mutex_);
+  RegionGate region_gate_ TFR_GUARDED_BY(hooks_mutex_);
 
   PeriodicTask wal_syncer_;
   PeriodicTask heartbeats_;
 
-  std::mutex terminator_mutex_;
-  std::thread self_terminator_;  // runs crash() when declared dead
+  Mutex terminator_mutex_{LockRank::kClientLifecycle, "region_server.terminator"};
+  std::thread self_terminator_ TFR_GUARDED_BY(terminator_mutex_);  // runs crash() when declared dead
 };
 
 }  // namespace tfr

@@ -48,7 +48,7 @@ std::string Wal::segment_path(const std::string& base, std::uint64_t index) {
 
 Result<std::unique_ptr<Wal>> Wal::create(Dfs& dfs, std::string base_path) {
   auto wal = std::unique_ptr<Wal>(new Wal(dfs, std::move(base_path)));
-  std::lock_guard lock(wal->mutex_);
+  MutexLock lock(wal->mutex_);
   TFR_RETURN_IF_ERROR(wal->open_segment_locked());
   return wal;
 }
@@ -62,7 +62,7 @@ Status Wal::open_segment_locked() {
 }
 
 Result<std::uint64_t> Wal::append(WalRecord record) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
   record.seq = seq;
   const std::string framed = record.encode();
@@ -75,13 +75,13 @@ Result<std::uint64_t> Wal::append(WalRecord record) {
 }
 
 Status Wal::sync() {
-  std::lock_guard sync_lock(sync_mutex_);
+  MutexLock sync_lock(sync_mutex_);
   // Capture the frontier and the open segment before syncing: everything
   // appended before this point is covered by the DFS sync below.
   std::string open_path;
   std::uint64_t frontier = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     open_path = segments_.back().path;
     frontier = next_seq_.load(std::memory_order_acquire) - 1;
   }
@@ -99,7 +99,7 @@ Status Wal::sync() {
 Status Wal::roll() {
   // Make the closing segment fully durable first.
   TFR_RETURN_IF_ERROR(sync());
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   TFR_RETURN_IF_ERROR(dfs_->close(segments_.back().path));
   TFR_RETURN_IF_ERROR(open_segment_locked());
   ++rolls_;
@@ -108,7 +108,7 @@ Status Wal::roll() {
 }
 
 std::size_t Wal::truncate_obsolete(std::uint64_t min_needed_seq) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t removed = 0;
   // The open segment (back) is never removed; closed segments go once every
   // record in them precedes the oldest still-needed sequence number.
@@ -129,12 +129,12 @@ std::size_t Wal::truncate_obsolete(std::uint64_t min_needed_seq) {
 }
 
 std::uint64_t Wal::current_segment_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return segments_.back().bytes;
 }
 
 void Wal::crash() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   // Closed segments were synced by roll(); only the open one has a volatile
   // tail.
   dfs_->writer_crashed(segments_.back().path);
@@ -145,7 +145,7 @@ WalStats Wal::stats() const {
   s.appended_records = appended_seq();
   s.synced_records = synced_seq();
   s.syncs = sync_count_.load(std::memory_order_relaxed);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   s.rolls = rolls_;
   s.segments_truncated = truncated_;
   s.live_segments = segments_.size();

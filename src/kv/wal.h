@@ -19,7 +19,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,7 +101,7 @@ class Wal {
   Wal(Dfs& dfs, std::string base_path) : dfs_(&dfs), base_path_(std::move(base_path)) {}
 
   static std::string segment_path(const std::string& base, std::uint64_t index);
-  Status open_segment_locked();
+  Status open_segment_locked() TFR_REQUIRES(mutex_);
 
   struct Segment {
     std::string path;
@@ -116,13 +115,15 @@ class Wal {
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> synced_seq_{0};
 
-  mutable std::mutex mutex_;   // guards segments_ and appends (record framing)
-  std::vector<Segment> segments_;  // back() is the open segment
-  std::uint64_t next_segment_index_ = 1;
-  std::uint64_t rolls_ = 0;
-  std::uint64_t truncated_ = 0;
+  // Guards segments_ and appends (record framing).
+  mutable Mutex mutex_{LockRank::kWal, "wal"};
+  std::vector<Segment> segments_ TFR_GUARDED_BY(mutex_);  // back() is the open segment
+  std::uint64_t next_segment_index_ TFR_GUARDED_BY(mutex_) = 1;
+  std::uint64_t rolls_ TFR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t truncated_ TFR_GUARDED_BY(mutex_) = 0;
 
-  std::mutex sync_mutex_;  // serializes syncs; appends proceed concurrently
+  // Serializes syncs; appends proceed concurrently. Outer of mutex_.
+  Mutex sync_mutex_{LockRank::kWalSync, "wal_sync"};
   std::atomic<std::uint64_t> sync_count_{0};
 };
 

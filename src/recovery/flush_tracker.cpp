@@ -5,6 +5,12 @@
 namespace tfr {
 
 Timestamp FlushTracker::advance(Timestamp current_ts) {
+  // The old comment here claimed advance() races only with itself via the
+  // heartbeat task — but TxnClient::wait_flushed() also drains from the
+  // caller thread. Unserialized, two advances can interleave their FQ/FQ-
+  // flushed pops and the slower one can store an older TF over a newer one,
+  // breaking the monotonicity Algorithm 1 requires of TF(c).
+  MutexLock lock(advance_mutex_);
   Timestamp tf = tf_.load(std::memory_order_acquire);
   for (;;) {
     auto committed = fq_.head();
@@ -29,8 +35,8 @@ Timestamp FlushTracker::advance(Timestamp current_ts) {
     // Idle fast-path — see header comment for the ordering argument.
     tf = current_ts;
   }
-  // advance() races only with itself via the heartbeat task, which
-  // serializes calls; on_commit_ts/on_flushed touch only the queues.
+  // on_commit_ts/on_flushed touch only the (internally synced) queues and
+  // need no serialization with this store.
   tf_.store(tf, std::memory_order_release);
   return tf;
 }

@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/queue.h"
 #include "src/kv/types.h"
 
@@ -58,6 +59,10 @@ class FlushTracker {
   std::size_t in_flight() const { return fq_.size(); }
 
  private:
+  // Serializes concurrent advance() calls (the heartbeat task and
+  // wait_flushed() both call it); without it two racing advances can pop
+  // mismatched queue heads and publish a regressing TF(c).
+  Mutex advance_mutex_{LockRank::kRecoveryTracker, "flush_tracker.advance"};
   SyncedMinQueue<Timestamp> fq_;          // committed, in commit order
   SyncedMinQueue<Timestamp> fq_flushed_;  // flushed
   std::atomic<Timestamp> tf_;

@@ -20,7 +20,7 @@ void PersistTracker::install() {
 }
 
 bool PersistTracker::on_received(Timestamp commit_ts, std::optional<Timestamp> piggyback_tp) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   pq_.push(commit_ts);
   if (piggyback_tp && *piggyback_tp < tp_) {
     // Inherit responsibility for the failed server's un-persisted window.
@@ -46,7 +46,7 @@ Timestamp PersistTracker::heartbeat_payload() {
   // With the mutex held, u's WAL append (which precedes its observer call)
   // either lands before our sync (durable, fine) or its inheritance runs
   // after our advance and lowers TP(s) again (conservative, fine).
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (tf == kNoTimestamp || tf <= tp_) {
     // Nothing new to learn; still report the (possibly inherited) TP.
     return tp_;
@@ -62,7 +62,7 @@ Timestamp PersistTracker::heartbeat_payload() {
 }
 
 Timestamp PersistTracker::tp() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return tp_;
 }
 

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <optional>
 
 #include "src/common/queue.h"
@@ -66,9 +65,10 @@ class PersistTracker {
   std::function<Timestamp()> fetch_global_tf_;
 
   // Serializes the persist-and-advance step against threshold inheritance;
-  // see the interleaving argument in persist_tracker.cpp.
-  mutable std::mutex mutex_;
-  Timestamp tp_;
+  // see the interleaving argument in persist_tracker.cpp. Deliberately held
+  // across Wal::sync, hence ranked above kWalSync.
+  mutable Mutex mutex_{LockRank::kRecoveryTracker, "persist_tracker"};
+  Timestamp tp_ TFR_GUARDED_BY(mutex_);
   SyncedMinQueue<Timestamp> pq_;  // received, in commit order
 };
 

@@ -4,7 +4,7 @@ namespace tfr {
 
 Status RecoveryClient::replay_for_client(const WriteSet& ws) {
   TFR_RETURN_IF_ERROR(kv_.flush_writeset(ws, std::nullopt, /*recovery_replay=*/true));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.client_writesets_replayed;
   stats_.mutations_replayed += static_cast<std::int64_t>(ws.mutations.size());
   return Status::ok();
@@ -27,20 +27,20 @@ Status RecoveryClient::replay_for_region(const WriteSet& ws, const RegionDescrip
     }
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.mutations_skipped += skipped;
   }
   if (filtered.mutations.empty()) return Status::ok();
   TFR_RETURN_IF_ERROR(
       kv_.flush_writeset(filtered, failed_server_tp, /*recovery_replay=*/true));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.region_writesets_replayed;
   stats_.mutations_replayed += static_cast<std::int64_t>(filtered.mutations.size());
   return Status::ok();
 }
 
 RecoveryClientStats RecoveryClient::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -41,8 +41,8 @@ class RecoveryClient {
 
  private:
   KvClient kv_;
-  mutable std::mutex mutex_;
-  RecoveryClientStats stats_;
+  mutable Mutex mutex_{LockRank::kRecoveryTracker, "recovery_client"};
+  RecoveryClientStats stats_ TFR_GUARDED_BY(mutex_);
 };
 
 }  // namespace tfr

@@ -20,7 +20,7 @@ RecoveryManager::~RecoveryManager() { stop(); }
 
 void RecoveryManager::start() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (started_) return;
     started_ = true;
     publish_locked();  // make the TF/TP znodes exist from the start
@@ -53,7 +53,7 @@ void RecoveryManager::stop() {
 void RecoveryManager::recover_state() {
   std::vector<std::pair<std::string, Timestamp>> resume;  // client -> TFr(c)
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // §3.3: the thresholds are recoverable from the coordination service; the
     // registries repopulate from the live sessions' piggybacked payloads.
     if (auto tf = coord_->get(kTfPath)) published_tf_ = std::max(published_tf_, *tf);
@@ -160,7 +160,7 @@ void RecoveryManager::publish_locked() {
 }
 
 void RecoveryManager::poll_tick() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   // Ingest the latest piggybacked thresholds. Client TF(c) is monotonic;
   // server TP(s) can be *lowered* by inheritance, so take it verbatim.
   for (const auto& s : coord_->live_sessions("clients")) {
@@ -182,12 +182,12 @@ void RecoveryManager::poll_tick() {
 }
 
 Timestamp RecoveryManager::global_tf() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return published_tf_;
 }
 
 Timestamp RecoveryManager::global_tp() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return published_tp_;
 }
 
@@ -196,14 +196,14 @@ Timestamp RecoveryManager::global_tp() const {
 void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
   if (!expired) {
     // Clean unregister: drop the client from TF maintenance (§3.1).
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     client_tf_.erase(info.name);
     coord_->erase(kClientRegistryPrefix + info.name);
     publish_locked();
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     client_tf_.erase(info.name);
     // Hold TF at TFr(c) until the replay completes: servers must not be
     // told that these transactions are "fully flushed" while the recovery
@@ -234,7 +234,7 @@ void RecoveryManager::recover_client(const std::string& client_id, Timestamp tfr
     }
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.writesets_replayed_client += static_cast<std::int64_t>(writesets.size());
     client_recovery_floor_.erase(client_id);
     coord_->erase(kRecoveringClientPrefix + client_id);
@@ -254,7 +254,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
   if (!expired) {
     // Clean shutdown: the server flushed and synced everything it had, and
     // its final heartbeat reported an up-to-date TP(s).
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     server_tp_.erase(info.name);
     publish_locked();
     return;
@@ -262,7 +262,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
   // Crash: record the final payload so on_server_failure (called by the
   // master, possibly before our next poll) sees the freshest TPr(s). The
   // registry entry stays until then, conservatively pinning the global TP.
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = server_tp_.find(info.name);
   if (it == server_tp_.end()) {
     server_tp_[info.name] = info.payload;
@@ -273,7 +273,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
 
 void RecoveryManager::on_server_failure(const std::string& server_id,
                                         const std::vector<std::string>& regions) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Timestamp tpr = published_tp_;  // conservative fallback
   auto it = server_tp_.find(server_id);
   if (it != server_tp_.end()) {
@@ -297,7 +297,7 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
                                           const std::string& server_id) {
   PendingRegion pending;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = pending_regions_.find(region_name);
     if (it == pending_regions_.end()) {
       // Not part of a failure recovery (e.g. a clean-shutdown reassignment):
@@ -328,7 +328,7 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
   }
 
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.writesets_replayed_server += replayed;
     ++stats_.regions_recovered;
     // Release this region's TP floor; once the last region of the failure is
@@ -344,15 +344,13 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
 }
 
 RecoveryManagerStats RecoveryManager::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void RecoveryManager::wait_for_idle() const {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] {
-    return client_recovery_floor_.empty() && pending_regions_.empty();
-  });
+  MutexLock lock(mutex_);
+  while (!client_recovery_floor_.empty() || !pending_regions_.empty()) idle_cv_.wait(lock);
 }
 
 }  // namespace tfr

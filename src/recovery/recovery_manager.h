@@ -35,7 +35,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -139,9 +138,9 @@ class RecoveryManager : public MasterHooks {
   void on_client_session(const SessionInfo& info, bool expired);
   void on_server_session(const SessionInfo& info, bool expired);
   void recover_client(const std::string& client_id, Timestamp tfr);
-  void publish_locked();
-  Timestamp compute_tf_locked() const;
-  Timestamp compute_tp_locked() const;
+  void publish_locked() TFR_REQUIRES(mutex_);
+  Timestamp compute_tf_locked() const TFR_REQUIRES(mutex_);
+  Timestamp compute_tp_locked() const TFR_REQUIRES(mutex_);
 
   Coord* coord_;
   TxnManager* tm_;
@@ -149,15 +148,16 @@ class RecoveryManager : public MasterHooks {
   RecoveryManagerConfig config_;
   RecoveryClient recovery_client_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable idle_cv_;
-  std::map<std::string, Timestamp> client_tf_;   // registry C
-  std::map<std::string, Timestamp> server_tp_;   // registry S
-  Timestamp published_tf_ = kNoTimestamp;
-  Timestamp published_tp_ = kNoTimestamp;
+  mutable Mutex mutex_{LockRank::kRecoveryManager, "recovery_manager"};
+  mutable CondVar idle_cv_;
+  std::map<std::string, Timestamp> client_tf_ TFR_GUARDED_BY(mutex_);  // registry C
+  std::map<std::string, Timestamp> server_tp_ TFR_GUARDED_BY(mutex_);  // registry S
+  Timestamp published_tf_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;
+  Timestamp published_tp_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;
 
   /// Floors held during in-flight client recoveries (see header comment).
-  std::map<std::string, Timestamp> client_recovery_floor_;  // client -> TFr(c)
+  std::map<std::string, Timestamp> client_recovery_floor_
+      TFR_GUARDED_BY(mutex_);  // client -> TFr(c)
 
   /// Regions still awaiting transactional replay. Each entry floors the
   /// global TP at its TPr(s) until the replay completes, and is mirrored
@@ -166,9 +166,9 @@ class RecoveryManager : public MasterHooks {
     std::string failed_server;  // informational; "?" after an RM restart
     Timestamp tpr = kNoTimestamp;
   };
-  std::map<std::string, PendingRegion> pending_regions_;
+  std::map<std::string, PendingRegion> pending_regions_ TFR_GUARDED_BY(mutex_);
 
-  RecoveryManagerStats stats_;
+  RecoveryManagerStats stats_ TFR_GUARDED_BY(mutex_);
   PeriodicTask poller_;
   bool started_ = false;
   int client_listener_id_ = 0;

@@ -43,7 +43,7 @@ Testbed::Testbed(TestbedConfig config)
         // a concurrent RM restart waits for in-flight gates, and a gate that
         // fires during the swap window lands on the fresh instance — which
         // has reloaded the pending-region markers, so the replay still runs.
-        std::shared_lock lock(rm_mutex_);
+        ReaderLock lock(rm_mutex_);
         if (rm_) rm_->on_region_recovered(region, server_id);
       });
       trackers_.push_back(std::move(tracker));
@@ -174,7 +174,7 @@ void Testbed::restart_recovery_manager() {
     // finishing on the old instance erases its durable marker, so reading
     // the markers before quiescing could adopt a pending region that is
     // about to complete — and then wait for it forever.
-    std::unique_lock lock(rm_mutex_);
+    WriterLock lock(rm_mutex_);
     fresh->recover_state();
     rm_ = std::move(fresh);  // destroys the old, stopped instance
   }

@@ -7,13 +7,13 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/client/txn_client.h"
 #include "src/kv/cluster.h"
 #include "src/recovery/persist_tracker.h"
+#include "src/common/annotations.h"
 #include "src/recovery/recovery_manager.h"
 #include "src/txn/txn_manager.h"
 
@@ -129,7 +129,7 @@ class Testbed {
   /// rm_->stop() must complete BEFORE the exclusive lock is requested — a
   /// gate blocked inside on_region_recovered holds the shared lock for the
   /// whole replay.
-  mutable std::shared_mutex rm_mutex_;
+  mutable SharedMutex rm_mutex_{LockRank::kHarness, "testbed.rm"};
   std::unique_ptr<RecoveryManager> rm_;
   std::vector<std::unique_ptr<PersistTracker>> trackers_;
   std::vector<std::unique_ptr<TxnClient>> clients_;

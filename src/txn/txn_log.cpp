@@ -21,7 +21,7 @@ TxnLog::TxnLog(TxnLogConfig config) : config_(config) {
 
 TxnLog::~TxnLog() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   for (auto& lane : lanes_) lane->work_cv.notify_all();
@@ -40,10 +40,10 @@ Status TxnLog::append(WriteSet ws) {
   auto pending = std::make_shared<Pending>();
   pending->ws = std::move(ws);
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     lane.queue.push_back(pending);
     lane.work_cv.notify_one();
-    done_cv_.wait(lock, [&] { return pending->done || stop_; });
+    while (!pending->done && !stop_) done_cv_.wait(lock);
     if (!pending->done) return Status::closed("txn log shut down");
   }
   return Status::ok();
@@ -53,8 +53,8 @@ void TxnLog::appender_loop(Lane& lane) {
   for (;;) {
     std::vector<std::shared_ptr<Pending>> batch;
     {
-      std::unique_lock lock(mutex_);
-      lane.work_cv.wait(lock, [&] { return !lane.queue.empty() || stop_; });
+      MutexLock lock(mutex_);
+      while (lane.queue.empty() && !stop_) lane.work_cv.wait(lock);
       if (stop_) return;
       const std::size_t take = std::min(lane.queue.size(), config_.max_batch);
       batch.assign(lane.queue.begin(), lane.queue.begin() + static_cast<std::ptrdiff_t>(take));
@@ -64,7 +64,7 @@ void TxnLog::appender_loop(Lane& lane) {
     // overlap here: this sleep happens outside the shared mutex.
     lane.sync_model.charge();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       for (auto& p : batch) {
         stats_.live_bytes += static_cast<std::int64_t>(p->ws.byte_size());
         records_[p->ws.commit_ts] = p->ws;
@@ -79,7 +79,7 @@ void TxnLog::appender_loop(Lane& lane) {
 }
 
 std::vector<WriteSet> TxnLog::fetch_after(Timestamp after_ts) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<WriteSet> out;
   for (auto it = records_.upper_bound(after_ts); it != records_.end(); ++it) {
     out.push_back(it->second);
@@ -89,7 +89,7 @@ std::vector<WriteSet> TxnLog::fetch_after(Timestamp after_ts) const {
 
 std::vector<WriteSet> TxnLog::fetch_client_after(const std::string& client_id,
                                                  Timestamp after_ts) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<WriteSet> out;
   for (auto it = records_.upper_bound(after_ts); it != records_.end(); ++it) {
     if (it->second.client_id == client_id) out.push_back(it->second);
@@ -98,7 +98,7 @@ std::vector<WriteSet> TxnLog::fetch_client_after(const std::string& client_id,
 }
 
 void TxnLog::truncate_through(Timestamp up_to) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto end = records_.upper_bound(up_to);
   for (auto it = records_.begin(); it != end;) {
     stats_.live_bytes -= static_cast<std::int64_t>(it->second.byte_size());
@@ -109,7 +109,7 @@ void TxnLog::truncate_through(Timestamp up_to) {
 }
 
 TxnLogStats TxnLog::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -24,16 +24,15 @@
 // T < TP may be truncated from the recovery log").
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/latency.h"
 #include "src/common/status.h"
@@ -89,8 +88,10 @@ class TxnLog {
     bool done = false;
   };
 
+  // Lane state is guarded by the shared mutex_ (TSA cannot name an outer
+  // member from a nested struct, so the queue carries no annotation).
   struct Lane {
-    std::condition_variable work_cv;
+    CondVar work_cv;
     std::vector<std::shared_ptr<Pending>> queue;
     std::thread appender;
     LatencyModel sync_model;
@@ -100,11 +101,11 @@ class TxnLog {
 
   TxnLogConfig config_;
 
-  mutable std::mutex mutex_;          // queues + records + stats
-  std::condition_variable done_cv_;   // clients wait for durability
-  std::map<Timestamp, WriteSet> records_;  // durable, ordered by commit ts
-  bool stop_ = false;
-  TxnLogStats stats_;
+  mutable Mutex mutex_{LockRank::kTxnLog, "txn_log"};  // queues + records + stats
+  CondVar done_cv_;  // clients wait for durability
+  std::map<Timestamp, WriteSet> records_ TFR_GUARDED_BY(mutex_);  // durable, by commit ts
+  bool stop_ TFR_GUARDED_BY(mutex_) = false;
+  TxnLogStats stats_ TFR_GUARDED_BY(mutex_);
 
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

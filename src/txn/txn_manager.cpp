@@ -25,14 +25,14 @@ TxnHandle TxnManager::begin(Timestamp start_ts, const std::string& client_id) {
   h.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   h.start_ts = start_ts;
   h.client_id = client_id;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (++active_count_[start_ts] == 1) active_start_ts_.insert(start_ts);
   if (!client_id.empty()) open_by_client_[client_id][h.txn_id] = start_ts;
   return h;
 }
 
 void TxnManager::abandon_client(const std::string& client_id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = open_by_client_.find(client_id);
   if (it == open_by_client_.end()) return;
   for (const auto& [txn_id, start_ts] : it->second) {
@@ -46,7 +46,7 @@ Result<Timestamp> TxnManager::commit(const TxnHandle& txn, WriteSet ws,
                                      const TsListener& ts_listener) {
   Timestamp commit_ts = kNoTimestamp;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // First-committer-wins write-write conflict check (snapshot isolation):
     // abort if any row we wrote was committed by someone after our snapshot.
     // Conflict keys are table-qualified — the same row key in two tables is
@@ -83,7 +83,7 @@ Result<Timestamp> TxnManager::commit(const TxnHandle& txn, WriteSet ws,
 }
 
 void TxnManager::abort(const TxnHandle& txn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   remove_active(active_start_ts_, active_count_, txn.start_ts);
   if (!txn.client_id.empty()) {
     auto cit = open_by_client_.find(txn.client_id);
@@ -93,13 +93,13 @@ void TxnManager::abort(const TxnHandle& txn) {
 }
 
 Timestamp TxnManager::current_ts() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return last_ts_;
 }
 
 void TxnManager::checkpoint(Timestamp tp) {
   log_.truncate_through(tp);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   prune_floor_ = std::max(prune_floor_, tp);
 }
 
@@ -122,7 +122,7 @@ void TxnManager::prune_conflicts_locked() {
 }
 
 TxnManagerStats TxnManager::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

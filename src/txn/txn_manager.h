@@ -20,7 +20,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -85,20 +84,22 @@ class TxnManager {
   TxnManagerStats stats() const;
 
  private:
-  void prune_conflicts_locked();
+  void prune_conflicts_locked() TFR_REQUIRES(mutex_);
 
   TxnLog log_;
 
-  mutable std::mutex mutex_;  // oracle + conflict table + active set
-  Timestamp last_ts_ = kNoTimestamp;
-  std::unordered_map<std::string, Timestamp> last_writer_;  // table\x1f row -> commit ts
-  std::set<Timestamp> active_start_ts_;                     // multiset semantics via count map
-  std::unordered_map<Timestamp, int> active_count_;
+  mutable Mutex mutex_{LockRank::kTxnManager, "txn_manager"};  // oracle + conflicts + active
+  Timestamp last_ts_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;
+  std::unordered_map<std::string, Timestamp> last_writer_
+      TFR_GUARDED_BY(mutex_);  // table\x1f row -> commit ts
+  std::set<Timestamp> active_start_ts_ TFR_GUARDED_BY(mutex_);  // multiset via count map
+  std::unordered_map<Timestamp, int> active_count_ TFR_GUARDED_BY(mutex_);
   // Open transactions per client (txn_id -> start_ts), for abandon_client.
-  std::unordered_map<std::string, std::unordered_map<std::uint64_t, Timestamp>> open_by_client_;
-  Timestamp prune_floor_ = kNoTimestamp;  // provided by checkpoint()
-  std::uint64_t commits_since_prune_ = 0;
-  TxnManagerStats stats_;
+  std::unordered_map<std::string, std::unordered_map<std::uint64_t, Timestamp>> open_by_client_
+      TFR_GUARDED_BY(mutex_);
+  Timestamp prune_floor_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;  // from checkpoint()
+  std::uint64_t commits_since_prune_ TFR_GUARDED_BY(mutex_) = 0;
+  TxnManagerStats stats_ TFR_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> next_txn_id_{1};
 };
