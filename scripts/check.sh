@@ -6,9 +6,11 @@
 #   scripts/check.sh                     # plain RelWithDebInfo build + ctest
 #   scripts/check.sh analyze             # clang -Werror=thread-safety build
 #   scripts/check.sh lint                # scripts/lint.sh (clang-tidy + greps)
+#   scripts/check.sh soak-partition      # 10-seed zombie-server partition soak
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
 #   TFR_CXX=clang++ TFR_SANITIZE=thread scripts/check.sh   # TSan under clang
+#   TFR_CXX=clang++ scripts/check.sh soak-partition        # soak under TSan
 #
 # TFR_CXX selects the compiler (default: the system default, gcc on the
 # reference machine). Each sanitizer/compiler combination gets its own build
@@ -52,9 +54,29 @@ case "$MODE" in
     echo "analyze OK (clang -Werror=thread-safety, compiler: $CXX)"
     exit 0
     ;;
+  soak-partition)
+    # The epoch-fencing acceptance soak: run the zombie-server scenario
+    # across many seeds (TFR_ZOMBIE_SEEDS, default 10; ctest runs only the
+    # 1-seed smoke). With TFR_CXX pointing at clang, the soak runs under
+    # TSan so the fencing paths get raced as well as asserted.
+    SEEDS="${TFR_ZOMBIE_SEEDS:-10}"
+    if compiler_is_clang; then
+      BUILD_DIR="build-tsan-$(basename "$CXX" | tr -d +)"
+      cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER="$CXX" \
+        -DCMAKE_BUILD_TYPE=Debug -DTFR_SANITIZE=thread
+    else
+      BUILD_DIR=build
+      cmake -B "$BUILD_DIR" -S .
+    fi
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target integration_tests
+    TFR_ZOMBIE_SEEDS="$SEEDS" "$BUILD_DIR/tests/integration_tests" \
+      --gtest_filter='Seeds/ZombiePartitionTest.*'
+    echo "soak-partition OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
+    exit 0
+    ;;
   test) ;;
   *)
-    echo "unknown subcommand '$MODE' (use: analyze, lint, or no argument)" >&2
+    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, or no argument)" >&2
     exit 2
     ;;
 esac

@@ -79,7 +79,9 @@ TxnClient::TxnClient(std::string id, TxnManager& tm, Master& master, Coord& coor
       config_(config),
       kv_(master, config.flush_backoff),
       tracker_(kNoTimestamp),
-      heartbeats_([this] { heartbeat_tick(); }, config.heartbeat_interval) {}
+      heartbeats_([this] { heartbeat_tick(); }, config.heartbeat_interval) {
+  kv_.set_client_id(id_);
+}
 
 TxnClient::~TxnClient() {
   // A client that was closed cleanly or crashed has already joined its

@@ -75,6 +75,7 @@ enum class LockRank : int {
   kLatencyModel = 30,      // latency.h jitter rng (taken under region/WAL locks)
   kThreadingInternal = 40, // PeriodicTask / Semaphore / CountdownLatch internals
   kQueue = 50,             // BlockingQueue / SyncedMinQueue (taken inside TM commit)
+  kEpochRegistry = 55,     // epoch.h region->epoch map (probed under WAL/region locks)
   kFaultInjector = 60,     // fault.h rule table (probed under region locks via DFS)
   kBlockCache = 70,        // block_cache.h LRU state
   kServerHooks = 80,       // region_server.h hook/observer registration

@@ -1,0 +1,31 @@
+#include "src/common/epoch.h"
+
+namespace tfr {
+
+std::uint64_t EpochRegistry::current(const std::string& region) const {
+  MutexLock lock(mutex_);
+  auto it = epochs_.find(region);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+std::uint64_t EpochRegistry::advance_to(const std::string& region, std::uint64_t epoch) {
+  MutexLock lock(mutex_);
+  std::uint64_t& current = epochs_[region];
+  if (epoch > current) current = epoch;
+  return current;
+}
+
+Status EpochRegistry::validate(const std::string& region, std::uint64_t epoch) const {
+  std::uint64_t required;
+  {
+    MutexLock lock(mutex_);
+    auto it = epochs_.find(region);
+    if (it == epochs_.end()) return Status::ok();
+    required = it->second;
+  }
+  if (epoch >= required) return Status::ok();
+  return Status::wrong_epoch("region " + region + " epoch " + std::to_string(epoch) +
+                             " fenced by epoch " + std::to_string(required));
+}
+
+}  // namespace tfr

@@ -1,0 +1,54 @@
+// EpochRegistry — the shared-storage side of the fencing protocol.
+//
+// Every region has a monotonically increasing *ownership epoch*. The master
+// advances it (through the coordination service) before reassigning the
+// region or replaying its recovery log; a region server stamps the epoch it
+// was granted on every WAL append and store-file finalization. The storage
+// layer consults this registry at those boundaries and rejects any write
+// bearing an epoch older than the current one with Status::wrong_epoch —
+// the classic fencing-token check that turns "the master *believes* the old
+// owner is dead" into "the old owner *cannot* mutate shared state".
+//
+// The registry is process-local (our DFS/WAL are in-process); in a real
+// deployment this state would ride with the storage nodes themselves, which
+// is why it lives in common/ rather than inside the master: the master
+// *advances* epochs, but storage *enforces* them.
+//
+// Epoch 0 means "never fenced": current() returns 0 for unknown regions, so
+// components that run without the registry (unit tests, benches) are never
+// rejected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/annotations.h"
+#include "src/common/status.h"
+
+namespace tfr {
+
+/// Thread-safe region -> ownership-epoch map. One instance per Cluster,
+/// shared by the master (writer) and the WAL / region store-file
+/// finalization paths (readers).
+class EpochRegistry {
+ public:
+  /// The current epoch for `region`; 0 if the region was never fenced.
+  std::uint64_t current(const std::string& region) const;
+
+  /// Monotonically advance `region`'s epoch to `epoch`. Returns the epoch
+  /// actually in force afterwards (>= `epoch` — a concurrent advance may
+  /// have gone further; epochs never move backwards).
+  std::uint64_t advance_to(const std::string& region, std::uint64_t epoch);
+
+  /// Ok iff `epoch` is current (>= the registered epoch) for `region`.
+  /// The canonical fencing check; callers count kv.epoch_rejects themselves
+  /// so the counter names the boundary that rejected.
+  Status validate(const std::string& region, std::uint64_t epoch) const;
+
+ private:
+  mutable Mutex mutex_{LockRank::kEpochRegistry, "epoch_registry"};
+  std::map<std::string, std::uint64_t> epochs_ TFR_GUARDED_BY(mutex_);
+};
+
+}  // namespace tfr

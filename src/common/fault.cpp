@@ -12,6 +12,7 @@ std::string_view fault_op_name(FaultOp op) {
     case FaultOp::kRpcScan: return "rpc_scan";
     case FaultOp::kDfsSync: return "dfs_sync";
     case FaultOp::kDfsRead: return "dfs_read";
+    case FaultOp::kCoordHeartbeat: return "coord_heartbeat";
   }
   return "unknown";
 }
@@ -46,9 +47,89 @@ int FaultInjector::add_rule(FaultRule rule) {
 }
 
 void FaultInjector::clear_rules() {
-  set_enabled(false);
   MutexLock lock(mutex_);
   rules_.clear();
+  // Partitions survive clear_rules(); only disable the fast path when
+  // nothing at all is installed.
+  if (partitions_.empty()) enabled_.store(false, std::memory_order_release);
+}
+
+namespace {
+Counter& partitions_active_gauge() {
+  static Counter& g = global_counter("fault.partitions_active");
+  return g;
+}
+}  // namespace
+
+int FaultInjector::add_partition(PartitionRule rule) {
+  int id;
+  {
+    MutexLock lock(mutex_);
+    id = next_partition_id_++;
+    partitions_.emplace_back(id, std::move(rule));
+  }
+  partitions_active_gauge().add(1);
+  set_enabled(true);
+  return id;
+}
+
+void FaultInjector::heal_partition(int id) {
+  bool healed = false;
+  {
+    MutexLock lock(mutex_);
+    for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+      if (it->first == id) {
+        partitions_.erase(it);
+        healed = true;
+        break;
+      }
+    }
+    if (partitions_.empty() && rules_.empty()) {
+      enabled_.store(false, std::memory_order_release);
+    }
+  }
+  if (healed) partitions_active_gauge().add(-1);
+}
+
+void FaultInjector::clear_partitions() {
+  std::size_t healed;
+  {
+    MutexLock lock(mutex_);
+    healed = partitions_.size();
+    partitions_.clear();
+    if (rules_.empty()) enabled_.store(false, std::memory_order_release);
+  }
+  if (healed > 0) partitions_active_gauge().add(-static_cast<std::int64_t>(healed));
+}
+
+bool FaultInjector::partitioned(std::string_view from, std::string_view to) {
+  if (!enabled()) return false;
+  bool blocked = false;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [id, rule] : partitions_) {
+      (void)id;
+      const bool forward = target_matches(rule.src, from) && target_matches(rule.dst, to);
+      const bool reverse =
+          rule.symmetric && target_matches(rule.src, to) && target_matches(rule.dst, from);
+      if (forward || reverse) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) ++stats_.partition_drops;
+  }
+  if (blocked) {
+    static Counter& drops = global_counter("fault.partition_drops");
+    drops.add();
+  }
+  return blocked;
+}
+
+Status FaultInjector::check_partition(FaultOp op, std::string_view from, std::string_view to) {
+  if (!partitioned(from, to)) return Status::ok();
+  return Status::unavailable("partition dropped " + std::string(fault_op_name(op)) + " from " +
+                             std::string(from) + " to " + std::string(to));
 }
 
 FaultAction FaultInjector::inject(FaultOp op, std::string_view target) {

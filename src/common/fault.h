@@ -37,11 +37,12 @@ namespace tfr {
 
 /// The injectable operation kinds, one per instrumented I/O boundary.
 enum class FaultOp {
-  kRpcApply,  // RegionServer::apply_writeset
-  kRpcGet,    // RegionServer::get
-  kRpcScan,   // RegionServer::scan
-  kDfsSync,   // Dfs::sync (per path)
-  kDfsRead,   // Dfs::read (per path)
+  kRpcApply,        // RegionServer::apply_writeset
+  kRpcGet,          // RegionServer::get
+  kRpcScan,         // RegionServer::scan
+  kDfsSync,         // Dfs::sync (per path)
+  kDfsRead,         // Dfs::read (per path)
+  kCoordHeartbeat,  // RegionServer::heartbeat_tick -> Coord::heartbeat
 };
 
 std::string_view fault_op_name(FaultOp op);
@@ -92,7 +93,27 @@ struct FaultStats {
   std::int64_t dropped_responses = 0;
   std::int64_t corrupted_wires = 0;
   std::int64_t injected_delays = 0;
+  std::int64_t partition_drops = 0;   ///< messages dropped by partition rules
   Micros delay_micros = 0;            ///< total injected latency
+};
+
+/// A network partition between two nodes, matched by id prefix (so "client"
+/// matches every client, "" matches everyone). Unlike probabilistic rules a
+/// partition is absolute and deterministic: while installed, *every*
+/// matching message is dropped — no PRNG draw, so partitions do not perturb
+/// the seeded schedule of the probabilistic rules.
+///
+/// `symmetric` partitions drop traffic both ways. An asymmetric rule drops
+/// only src -> dst traffic: for the apply RPC that means a request from a
+/// matching source is lost before the server sees it, while a blocked
+/// *response* direction (dst -> src) surfaces as drop_response — the write
+/// lands but the ack never arrives. This is the gray-failure geometry that
+/// creates zombie servers: partition a server from coord but not from its
+/// clients and it keeps acking writes while the master declares it dead.
+struct PartitionRule {
+  std::string src;  ///< prefix of the sending node id; empty matches all
+  std::string dst;  ///< prefix of the receiving node id; empty matches all
+  bool symmetric = true;
 };
 
 /// Thread-safe. One instance per Cluster; shared by the DFS and every
@@ -111,7 +132,27 @@ class FaultInjector {
   int add_rule(FaultRule rule);
 
   /// Drop every rule and disable the injector; stats are kept.
+  /// Partitions are unaffected (heal them with clear_partitions()).
   void clear_rules();
+
+  /// Install a partition and enable the injector. Returns a partition id
+  /// for heal_partition(). Mirrors into the "fault.partitions_active" gauge.
+  int add_partition(PartitionRule rule);
+
+  /// Heal one partition by id (returned from add_partition).
+  void heal_partition(int id);
+
+  /// Heal every partition.
+  void clear_partitions();
+
+  /// True iff a partition rule currently blocks `from` -> `to` traffic.
+  /// Deterministic — no PRNG draw, so it never perturbs the seeded
+  /// schedule. Counted in stats().partition_drops when it fires.
+  bool partitioned(std::string_view from, std::string_view to);
+
+  /// Status-returning wrapper: Unavailable if `from` -> `to` is blocked.
+  /// `op` only labels the error message.
+  Status check_partition(FaultOp op, std::string_view from, std::string_view to);
 
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
@@ -135,6 +176,9 @@ class FaultInjector {
   std::uint64_t seed_ TFR_GUARDED_BY(mutex_) = 0;
   Rng rng_ TFR_GUARDED_BY(mutex_){0};
   std::vector<FaultRule> rules_ TFR_GUARDED_BY(mutex_);
+  /// (id, rule); healed partitions are erased, ids never reused.
+  std::vector<std::pair<int, PartitionRule>> partitions_ TFR_GUARDED_BY(mutex_);
+  int next_partition_id_ TFR_GUARDED_BY(mutex_) = 1;
   FaultStats stats_ TFR_GUARDED_BY(mutex_);
 };
 

@@ -14,6 +14,7 @@ std::string_view code_name(Code c) {
     case Code::kClosed: return "Closed";
     case Code::kCorruption: return "Corruption";
     case Code::kInternal: return "Internal";
+    case Code::kWrongEpoch: return "WrongEpoch";
   }
   return "Unknown";
 }

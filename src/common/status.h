@@ -26,6 +26,7 @@ enum class Code {
   kClosed,           // object has been shut down
   kCorruption,       // stored data failed to decode
   kInternal,         // invariant violation inside the library
+  kWrongEpoch,       // write bears a stale ownership epoch; relocate and retry
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -47,6 +48,7 @@ class [[nodiscard]] Status {
   static Status closed(std::string m) { return {Code::kClosed, std::move(m)}; }
   static Status corruption(std::string m) { return {Code::kCorruption, std::move(m)}; }
   static Status internal(std::string m) { return {Code::kInternal, std::move(m)}; }
+  static Status wrong_epoch(std::string m) { return {Code::kWrongEpoch, std::move(m)}; }
 
   bool is_ok() const { return code_ == Code::kOk; }
   explicit operator bool() const { return is_ok(); }
@@ -58,6 +60,7 @@ class [[nodiscard]] Status {
   bool is_unavailable() const { return code_ == Code::kUnavailable; }
   bool is_aborted() const { return code_ == Code::kAborted; }
   bool is_timeout() const { return code_ == Code::kTimeout; }
+  bool is_wrong_epoch() const { return code_ == Code::kWrongEpoch; }
 
   /// "Ok" or "NotFound: no such row".
   std::string to_string() const;

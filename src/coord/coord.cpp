@@ -37,16 +37,47 @@ Status Coord::create_session(const std::string& group, const std::string& name, 
 
 Status Coord::heartbeat(const std::string& group, const std::string& name,
                         HeartbeatPayload payload) {
-  MutexLock lock(mutex_);
-  auto it = sessions_.find(key_of(group, name));
-  if (it == sessions_.end() || !it->second.info.alive) {
-    // The node was already declared dead; its messages are ignored until
-    // recovery completes (paper §3.1). It must terminate itself.
-    return Status::unavailable("session declared dead: " + key_of(group, name));
+  SessionInfo info;
+  std::vector<SessionListener> to_notify;
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(key_of(group, name));
+    if (it == sessions_.end() || !it->second.info.alive) {
+      // The node was already declared dead; its messages are ignored until
+      // recovery completes (paper §3.1). It must terminate itself.
+      return Status::unavailable("session declared dead: " + key_of(group, name));
+    }
+    Session& s = it->second;
+    const Micros now = now_micros();
+    if (now - s.info.last_heartbeat <= s.ttl) {
+      s.info.last_heartbeat = now;
+      s.info.payload = payload;
+      return Status::ok();
+    }
+    // The TTL has already lapsed: whether this heartbeat or the periodic
+    // expiry scan observes the lapse first must not change the outcome. A
+    // silent renewal here would resurrect a session the rest of the system
+    // is entitled to assume dead — without the expiry listeners ever firing.
+    // Expire it now (the scan can no longer see it, so listeners fire
+    // exactly once) and refuse the renewal.
+    s.info.alive = false;
+    info = s.info;
+    TFR_LOG(INFO, "coord") << "session expired on late heartbeat: " << it->first
+                           << " (last payload " << s.info.payload << ")";
+    auto lit = listeners_.find(group);
+    if (lit != listeners_.end()) {
+      for (auto& [id, l] : lit->second) to_notify.push_back(l);
+    }
+    sessions_.erase(it);
+    ++callbacks_in_flight_;
   }
-  it->second.info.last_heartbeat = now_micros();
-  it->second.info.payload = payload;
-  return Status::ok();
+  for (auto& l : to_notify) l(info, /*expired=*/true);
+  {
+    MutexLock lock(mutex_);
+    --callbacks_in_flight_;
+  }
+  quiesce_cv_.notify_all();
+  return Status::unavailable("session expired: " + key_of(group, name));
 }
 
 Status Coord::update_ttl(const std::string& group, const std::string& name, Micros ttl) {

@@ -13,8 +13,16 @@ Dfs::Dfs(DfsConfig config)
       read_model_(config.read_latency, config.read_jitter),
       datanode_up_(static_cast<std::size_t>(config.num_datanodes), true) {}
 
+bool Dfs::fenced_locked(const std::string& path) const {
+  for (const auto& prefix : fenced_prefixes_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
 Status Dfs::create(const std::string& path) {
   MutexLock lock(mutex_);
+  if (fenced_locked(path)) return Status::wrong_epoch("dfs path fenced: " + path);
   auto [it, inserted] = files_.try_emplace(path);
   if (!inserted) return Status::already_exists("dfs file exists: " + path);
   return Status::ok();
@@ -22,6 +30,7 @@ Status Dfs::create(const std::string& path) {
 
 Status Dfs::append(const std::string& path, std::string_view data) {
   MutexLock lock(mutex_);
+  if (fenced_locked(path)) return Status::wrong_epoch("dfs path fenced: " + path);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs append: " + path);
   if (!it->second.open) return Status::closed("dfs file closed: " + path);
@@ -45,6 +54,7 @@ Result<std::uint64_t> Dfs::sync(const std::string& path) {
   std::uint64_t target = 0;
   {
     MutexLock lock(mutex_);
+    if (fenced_locked(path)) return Status::wrong_epoch("dfs path fenced: " + path);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::not_found("dfs sync: " + path);
     target = it->second.data.size();
@@ -58,6 +68,9 @@ Result<std::uint64_t> Dfs::sync(const std::string& path) {
   }
   sync_model_.charge();  // pipeline ack from `replication` datanodes
   MutexLock lock(mutex_);
+  // Re-check: the fence may have landed while the pipeline ack was in
+  // flight — the un-synced tail must stay un-durable (the split already ran).
+  if (fenced_locked(path)) return Status::wrong_epoch("dfs path fenced: " + path);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::not_found("dfs sync (removed): " + path);
   File& f = it->second;
@@ -151,6 +164,38 @@ Result<std::uint64_t> Dfs::durable_size(const std::string& path) const {
 bool Dfs::exists(const std::string& path) const {
   MutexLock lock(mutex_);
   return files_.count(path) > 0;
+}
+
+Status Dfs::rename(const std::string& from, const std::string& to) {
+  MutexLock lock(mutex_);
+  if (fenced_locked(to)) return Status::wrong_epoch("dfs path fenced: " + to);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::not_found("dfs rename: " + from);
+  if (files_.count(to) > 0) return Status::already_exists("dfs rename target exists: " + to);
+  File f = std::move(it->second);
+  files_.erase(it);
+  files_.emplace(to, std::move(f));
+  return Status::ok();
+}
+
+void Dfs::fence_prefix(const std::string& prefix) {
+  MutexLock lock(mutex_);
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    File& f = it->second;
+    if (f.data.size() > f.durable) {
+      TFR_LOG(INFO, "dfs") << "fencing " << it->first << ": dropping "
+                           << f.data.size() - f.durable << " un-synced bytes";
+      f.data.resize(f.durable);
+    }
+    f.open = false;
+  }
+  if (!fenced_locked(prefix)) fenced_prefixes_.push_back(prefix);
+}
+
+bool Dfs::is_fenced(const std::string& path) const {
+  MutexLock lock(mutex_);
+  return fenced_locked(path);
 }
 
 Status Dfs::remove(const std::string& path) {

@@ -78,6 +78,23 @@ class Dfs {
   /// Read the whole durable prefix.
   Result<std::string> read_all(const std::string& path);
 
+  /// Atomically rename `from` to `to`. Fails if `from` is missing or `to`
+  /// exists. The building block of rename-based store-file fencing: a
+  /// finalizer writes to a tmp path, re-checks its ownership epoch, and only
+  /// then renames into the live namespace.
+  Status rename(const std::string& from, const std::string& to);
+
+  /// Writer fencing (HDFS lease recovery): close every file under `prefix`,
+  /// discarding un-synced tails, and reject all further create/append/sync
+  /// under the prefix with WrongEpoch. The master calls this on a dead
+  /// server's WAL directory *before* splitting it, so a zombie writer that
+  /// raced past its own self-fence check cannot extend the log after the
+  /// split read it. Idempotent.
+  void fence_prefix(const std::string& prefix);
+
+  /// True iff `path` falls under a fenced prefix.
+  bool is_fenced(const std::string& path) const;
+
   Result<std::uint64_t> durable_size(const std::string& path) const;
   bool exists(const std::string& path) const;
   Status remove(const std::string& path);
@@ -116,6 +133,7 @@ class Dfs {
   // Assigns datanodes for newly durable blocks.
   void place_blocks(File& f) TFR_REQUIRES(mutex_);
   bool block_readable(const Block& b) const TFR_REQUIRES(mutex_);
+  bool fenced_locked(const std::string& path) const TFR_REQUIRES(mutex_);
 
   DfsConfig config_;
   LatencyModel sync_model_;
@@ -124,6 +142,7 @@ class Dfs {
 
   mutable Mutex mutex_{LockRank::kDfs, "dfs"};
   std::map<std::string, File> files_ TFR_GUARDED_BY(mutex_);
+  std::vector<std::string> fenced_prefixes_ TFR_GUARDED_BY(mutex_);
   std::vector<bool> datanode_up_ TFR_GUARDED_BY(mutex_);
   int next_datanode_ TFR_GUARDED_BY(mutex_) = 0;
   DfsStats stats_ TFR_GUARDED_BY(mutex_);

@@ -8,11 +8,13 @@ Cluster::Cluster(ClusterConfig config)
     : config_(config), dfs_(config.dfs), coord_(config.coord_check_interval),
       master_(dfs_, coord_) {
   dfs_.set_fault_injector(&fault_);
+  master_.set_epoch_registry(&epochs_);
   for (int i = 0; i < config_.num_servers; ++i) {
     servers_.push_back(
         std::make_unique<RegionServer>("rs" + std::to_string(i + 1), dfs_, coord_,
                                        config_.server));
     servers_.back()->set_fault_injector(&fault_);
+    servers_.back()->set_epoch_registry(&epochs_);
   }
 }
 
@@ -51,6 +53,7 @@ Result<RegionServer*> Cluster::add_server() {
   auto server = std::make_unique<RegionServer>("rs" + std::to_string(servers_.size() + 1), dfs_,
                                                coord_, config_.server);
   server->set_fault_injector(&fault_);
+  server->set_epoch_registry(&epochs_);
   if (server_setup_) server_setup_(*server);
   TFR_RETURN_IF_ERROR(server->start());
   master_.add_server(server.get());

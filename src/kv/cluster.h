@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/common/fault.h"
 #include "src/coord/coord.h"
 #include "src/dfs/dfs.h"
@@ -54,6 +55,10 @@ class Cluster {
   /// rules to start injecting.
   FaultInjector& fault() { return fault_; }
 
+  /// The cluster-wide ownership-epoch registry, pre-installed into the
+  /// master (which advances it) and every region server (which enforces it).
+  EpochRegistry& epochs() { return epochs_; }
+
   int num_servers() const { return static_cast<int>(servers_.size()); }
   RegionServer& server(int i) { return *servers_.at(static_cast<std::size_t>(i)); }
   RegionServer* server_by_id(const std::string& id);
@@ -70,7 +75,8 @@ class Cluster {
  private:
   ClusterConfig config_;
   std::function<void(RegionServer&)> server_setup_;
-  FaultInjector fault_;  // before dfs_/servers_: outlives everything that uses it
+  FaultInjector fault_;     // before dfs_/servers_: outlives everything that uses it
+  EpochRegistry epochs_;    // likewise consulted by WAL/regions until teardown
   Dfs dfs_;
   Coord coord_;
   Master master_;

@@ -63,7 +63,10 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
           s = stub->apply_writeset(req);
         }
         if (!s.is_ok()) {
-          if (!s.is_unavailable()) return s;  // real error, not a failover
+          // WrongEpoch means the slice hit a fenced (stale) owner: re-locate
+          // through the master — which has already published the new
+          // assignment — and retry, exactly like a failover.
+          if (!s.is_unavailable() && !s.is_wrong_epoch()) return s;  // real error
           still_pending.insert(still_pending.end(), muts.begin(), muts.end());
         }
       }
@@ -97,7 +100,7 @@ Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::s
     if (loc.is_ok()) {
       RegionServer* stub = master_->server_stub(loc.value().server_id);
       if (stub != nullptr) {
-        auto result = stub->get(table, row, column, read_ts);
+        auto result = stub->get(table, row, column, read_ts, client_id_);
         if (result.is_ok() || !result.status().is_unavailable()) return result;
       }
     } else if (!loc.status().is_unavailable() && !loc.status().is_not_found()) {
@@ -141,7 +144,7 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
           const std::string region_end = cur.value().descriptor.end_key;
           const std::string chunk_end =
               (!end.empty() && (region_end.empty() || end < region_end)) ? end : region_end;
-          auto cells = s->scan(table, cursor, chunk_end, read_ts, rows_left);
+          auto cells = s->scan(table, cursor, chunk_end, read_ts, rows_left, client_id_);
           if (!cells.is_ok()) {
             failed = true;
             break;

@@ -33,6 +33,10 @@ class KvClient {
   /// see common/backoff.h).
   explicit KvClient(Master& master, Micros retry_backoff = millis(5));
 
+  /// Identity announced as `caller` on reads (and already carried by write
+  /// sets as `client_id`), so partition rules can match this client.
+  void set_client_id(std::string id) { client_id_ = std::move(id); }
+
   /// Flush a committed write-set to all participant servers. Retries
   /// indefinitely across server failures and region moves; returns only
   /// when every participant has received and applied its slice, or with
@@ -61,6 +65,7 @@ class KvClient {
  private:
   Master* master_;
   Micros retry_backoff_;
+  std::string client_id_;
   std::atomic<std::int64_t> flush_rpcs_{0};
   std::atomic<std::int64_t> flush_retries_{0};
   std::atomic<std::int64_t> read_retries_{0};

@@ -38,6 +38,34 @@ void Master::add_server(RegionServer* server) {
   servers_[server->id()] = server;
   server_alive_[server->id()] = true;
   server_wal_paths_[server->id()] = server->wal_path();
+  // A fresh incarnation of the id may fail again; forget the old one.
+  downs_handled_.erase(server->id());
+}
+
+std::uint64_t Master::bump_epoch_locked(const std::string& region_name) {
+  auto it = assignment_.find(region_name);
+  if (it == assignment_.end()) return 0;
+  const std::uint64_t epoch = ++it->second.epoch;
+  // Arm the storage-side fencing check, then record the grant durably so a
+  // restarted master (or the recovery manager) can learn the fenced epoch.
+  if (epochs_ != nullptr) epochs_->advance_to(region_name, epoch);
+  coord_->put(kEpochPrefix + region_name, static_cast<std::int64_t>(epoch));
+  return epoch;
+}
+
+std::uint64_t Master::region_epoch(const std::string& region_name) const {
+  MutexLock lock(mutex_);
+  auto it = assignment_.find(region_name);
+  return it == assignment_.end() ? 0 : it->second.epoch;
+}
+
+void Master::report_server_down(const std::string& server_id, bool crashed) {
+  {
+    MutexLock lock(mutex_);
+    server_alive_[server_id] = false;
+    ++in_flight_recoveries_;
+  }
+  failures_.push({server_id, crashed});
 }
 
 void Master::set_hooks(MasterHooks* hooks) {
@@ -92,7 +120,7 @@ Status Master::create_table(const std::string& table, const std::vector<std::str
     }
   }
   for (auto& [desc, server] : plan) {
-    TFR_RETURN_IF_ERROR(server->open_region(desc, {}));
+    TFR_RETURN_IF_ERROR(server->open_region(desc, {}, /*epoch=*/1));
   }
   TFR_LOG(INFO, "master") << "table " << table << " created with " << descs.size() << " regions";
   return Status::ok();
@@ -155,8 +183,9 @@ Status Master::split_region(const std::string& region_name) {
   {
     MutexLock lock(mutex_);
     assignment_.erase(region_name);
-    assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id};
-    assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id};
+    // Children inherit the parent's ownership epoch (same server, same grant).
+    assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id, loc.epoch};
+    assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id, loc.epoch};
   }
   TFR_LOG(INFO, "master") << region_name << " split into " << left.name() << " and "
                           << right.name();
@@ -184,11 +213,16 @@ Status Master::move_region(const std::string& region_name, const std::string& ta
   // Flush + close at the source, then publish the new location so client
   // retries land on the target while it opens the region from store files.
   TFR_RETURN_IF_ERROR(source->offload_region(region_name));
+  std::uint64_t new_epoch;
   {
     MutexLock lock(mutex_);
-    assignment_[region_name] = RegionLocation{region_name, loc.descriptor, target_server};
+    // New owner, new epoch: any straggling write from the source (flushed
+    // and closed above, but belt-and-braces) is fenced out.
+    new_epoch = bump_epoch_locked(region_name);
+    assignment_[region_name] =
+        RegionLocation{region_name, loc.descriptor, target_server, new_epoch};
   }
-  Status opened = target->open_region(loc.descriptor, {});
+  Status opened = target->open_region(loc.descriptor, {}, new_epoch);
   if (!opened.is_ok()) {
     // Roll back the routing; the region is homeless until an operator or a
     // failure-recovery pass fixes it, so surface the error loudly.
@@ -279,13 +313,34 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
     if (crashed && hooks_ever_set_) {
       while (hooks_ == nullptr && !stopping_) idle_cv_.wait(lock);
     }
-    for (const auto& [name, loc] : assignment_) {
-      if (loc.server_id == server_id) affected.push_back(loc);
+    // Idempotence under duplicate failure deliveries: the coordination
+    // service (or an operator via report_server_down) may report the same
+    // dead incarnation more than once. Only the first report runs the WAL
+    // split and reassignment; add_server clears the mark when the id
+    // re-registers.
+    if (!downs_handled_.insert(server_id).second) {
+      TFR_LOG(INFO, "master") << "duplicate failure report for " << server_id << " ignored";
+      return;
+    }
+    for (auto& [name, loc] : assignment_) {
+      if (loc.server_id == server_id) {
+        // Fence before anything else: from here on, the new epoch is in
+        // force and any write the dead (or zombie) owner still manages to
+        // push is rejected at the WAL / store-file boundary. The hook below
+        // reads the already-bumped epoch via region_epoch().
+        bump_epoch_locked(name);
+        affected.push_back(loc);
+      }
     }
     hooks = hooks_;
     if (hooks != nullptr) ++hook_calls_in_flight_;
     wal_path = server_wal_paths_[server_id];
   }
+
+  // A crashed server may still be running (zombie behind a partition): close
+  // its WAL files at the DFS and reject its future appends/syncs, so edits
+  // it acks after this point can never become durable (HDFS lease recovery).
+  if (crashed && !wal_path.empty()) dfs_->fence_prefix(wal_path);
 
   std::vector<std::string> region_names;
   for (const auto& loc : affected) region_names.push_back(loc.region_name);
@@ -311,6 +366,7 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       auto split = Wal::split(*dfs_, wal_path);
       if (split.is_ok()) {
         edits = std::move(split).value();
+        global_counter("master.wal_splits").add();
         break;
       }
       if (split.status().is_not_found()) break;  // server never wrote a WAL
@@ -355,12 +411,12 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
         // server re-locate here and keep retrying until the region is online.
         MutexLock lock(mutex_);
         assignment_[loc.region_name] =
-            RegionLocation{loc.region_name, loc.descriptor, target};
+            RegionLocation{loc.region_name, loc.descriptor, target, loc.epoch};
       }
       auto it = edits.find(loc.region_name);
       const auto& region_edits =
           it == edits.end() ? std::vector<WalRecord>{} : it->second;
-      Status s = stub->open_region(loc.descriptor, region_edits);
+      Status s = stub->open_region(loc.descriptor, region_edits, loc.epoch);
       if (s.is_ok()) {
         TFR_LOG(INFO, "master") << loc.region_name << " reassigned " << server_id << " -> "
                                 << target;

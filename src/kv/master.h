@@ -18,9 +18,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "src/common/epoch.h"
 
 #include "src/common/annotations.h"
 #include "src/common/queue.h"
@@ -45,7 +48,13 @@ struct RegionLocation {
   std::string region_name;
   RegionDescriptor descriptor;
   std::string server_id;
+  /// Ownership epoch of the current assignment (the fencing token). Bumped
+  /// by the master before every reassignment or recovery replay.
+  std::uint64_t epoch = 1;
 };
+
+/// Coord-KV prefix under which the master durably records region epochs.
+inline constexpr const char* kEpochPrefix = "/tfr/epoch/";
 
 class Master {
  public:
@@ -91,6 +100,21 @@ class Master {
 
   std::vector<std::string> live_servers() const;
 
+  /// Attach the cluster's epoch registry: every epoch bump is then mirrored
+  /// into it, arming the storage-side fencing checks. Install before
+  /// traffic starts, as the Cluster does.
+  void set_epoch_registry(EpochRegistry* epochs) { epochs_ = epochs; }
+
+  /// Current ownership epoch of a region (0 if unknown).
+  std::uint64_t region_epoch(const std::string& region_name) const;
+
+  /// Deliver a server-failure report, as the coordination listener would.
+  /// Exposed so tests can exercise duplicate failure deliveries:
+  /// handle_server_down is idempotent per server incarnation — a server
+  /// re-reported while (or after) its recovery is in flight does not start
+  /// a second WAL split.
+  void report_server_down(const std::string& server_id, bool crashed);
+
   /// Install (or clear, with nullptr) the recovery-middleware hooks. Blocks
   /// until no hook invocation is in flight, so after it returns the previous
   /// hooks object can be safely destroyed (the RM restart path swaps it).
@@ -104,15 +128,23 @@ class Master {
   void recovery_worker();
   void handle_server_down(const std::string& server_id, bool crashed);
   std::string pick_live_server_locked(std::size_t salt) const TFR_REQUIRES(mutex_);
+  /// Advance a region's epoch by one: assignment map + registry + durable
+  /// coord-KV record. Returns the new epoch.
+  std::uint64_t bump_epoch_locked(const std::string& region_name) TFR_REQUIRES(mutex_);
 
   Dfs* dfs_;
   Coord* coord_;
+  EpochRegistry* epochs_ = nullptr;
 
   mutable Mutex mutex_{LockRank::kMaster, "master"};
   std::map<std::string, RegionServer*> servers_ TFR_GUARDED_BY(mutex_);  // all ever registered
   std::map<std::string, bool> server_alive_ TFR_GUARDED_BY(mutex_);
   std::map<std::string, RegionLocation> assignment_ TFR_GUARDED_BY(mutex_);  // region -> location
   std::map<std::string, std::string> server_wal_paths_ TFR_GUARDED_BY(mutex_);
+  /// Servers whose failure handling has started (and, once done, completed)
+  /// for the current incarnation; cleared when the id re-registers. Makes
+  /// handle_server_down idempotent under duplicate failure deliveries.
+  std::set<std::string> downs_handled_ TFR_GUARDED_BY(mutex_);
   MasterHooks* hooks_ TFR_GUARDED_BY(mutex_) = nullptr;
   bool hooks_ever_set_ TFR_GUARDED_BY(mutex_) = false;  // a recovery middleware exists
   bool stopping_ TFR_GUARDED_BY(mutex_) = false;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -126,13 +127,36 @@ Result<std::vector<Cell>> Region::scan(const std::string& start, const std::stri
   return out;
 }
 
+Status Region::finalize_store_file(StoreFileWriter& writer, const std::string& path) {
+  if (epochs_ == nullptr) return writer.finish(*dfs_, path);
+  // Write to a tmp path outside the data dir (a half-written tmp file left
+  // by a crashed owner must never be picked up by load_store_files), then
+  // re-check our epoch and rename into the live namespace. The rename is
+  // the commit point: a finalize racing the master's fence either renames
+  // before the new owner attached files (its data is simply a valid extra
+  // store file of the old epoch's admitted writes) or is rejected here.
+  const std::string tmp = "/tmp" + path;
+  TFR_RETURN_IF_ERROR(writer.finish(*dfs_, tmp));
+  Status fence = epochs_->validate(name(), epoch());
+  if (fence.is_ok()) fence = dfs_->rename(tmp, path);
+  if (!fence.is_ok()) {
+    (void)dfs_->remove(tmp);
+    if (fence.is_wrong_epoch()) {
+      static Counter& rejects = global_counter("kv.epoch_rejects");
+      rejects.add();
+      TFR_LOG(WARN, "region") << name() << " store-file finalize fenced: " << fence;
+    }
+  }
+  return fence;
+}
+
 Status Region::flush_memstore() {
   MutexLock lock(mutex_);
   if (memstore_.cell_count() == 0) return Status::ok();
   StoreFileWriter writer(store_block_bytes_);
   for (const auto& c : memstore_.snapshot()) writer.add(c);
   const std::string path = data_dir() + "sf-" + std::to_string(next_file_id_++);
-  TFR_RETURN_IF_ERROR(writer.finish(*dfs_, path));
+  TFR_RETURN_IF_ERROR(finalize_store_file(writer, path));
   auto reader = StoreFileReader::open(*dfs_, path);
   if (!reader.is_ok()) return reader.status();
   files_.insert(files_.begin(), reader.value());
@@ -205,7 +229,7 @@ Status Region::compact(Timestamp prune_before_ts) {
     MutexLock lock(mutex_);
     path = data_dir() + "sf-" + std::to_string(next_file_id_++);
   }
-  TFR_RETURN_IF_ERROR(writer.finish(*dfs_, path));
+  TFR_RETURN_IF_ERROR(finalize_store_file(writer, path));
   auto reader = StoreFileReader::open(*dfs_, path);
   if (!reader.is_ok()) return reader.status();
 

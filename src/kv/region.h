@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/dfs/dfs.h"
 #include "src/kv/block_cache.h"
 #include "src/common/annotations.h"
@@ -45,6 +46,18 @@ class Region {
 
   RegionState state() const { return state_.load(std::memory_order_acquire); }
   void set_state(RegionState s) { state_.store(s, std::memory_order_release); }
+
+  /// The ownership epoch this region was opened under (0 = unfenced). Set
+  /// by the hosting server from the master's grant; stamped on WAL appends
+  /// and checked before store-file finalization.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void set_epoch(std::uint64_t e) { epoch_.store(e, std::memory_order_release); }
+
+  /// Attach the cluster's epoch registry (nullptr to detach). With a
+  /// registry attached, flush_memstore/compact finalize store files via a
+  /// tmp path + epoch re-check + rename, so a fenced owner cannot publish
+  /// new store files into the live namespace.
+  void set_epoch_registry(const EpochRegistry* epochs) { epochs_ = epochs; }
 
   /// Attach the store files this region already has in the DFS (called on
   /// open, before replaying any edits).
@@ -97,11 +110,17 @@ class Region {
   std::string data_dir() const;
 
  private:
+  /// Rename-based fencing for store-file publication: write to a tmp path,
+  /// re-check the epoch, then rename into the region's data dir.
+  Status finalize_store_file(StoreFileWriter& writer, const std::string& path);
+
   RegionDescriptor desc_;
   Dfs* dfs_;
   BlockCache* cache_;
   std::size_t store_block_bytes_;
   std::atomic<RegionState> state_{RegionState::kOpening};
+  std::atomic<std::uint64_t> epoch_{0};
+  const EpochRegistry* epochs_ = nullptr;
 
   mutable Mutex mutex_{LockRank::kRegion, "region"};
   Memstore memstore_ TFR_GUARDED_BY(mutex_);

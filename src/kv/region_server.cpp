@@ -6,6 +6,7 @@
 
 #include "src/common/fault.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -33,6 +34,7 @@ Status RegionServer::start() {
   auto wal = Wal::create(*dfs_, wal_path());
   if (!wal.is_ok()) return wal.status();
   wal_ = std::move(wal).value();
+  wal_->set_epoch_registry(epochs_);
   // If a persist tracker is already installed, register with its initial
   // TP(s) so the session never reports a meaningless payload.
   PreHeartbeatHook hook;
@@ -41,6 +43,8 @@ Status RegionServer::start() {
     hook = pre_heartbeat_hook_;
   }
   const Timestamp initial_payload = hook ? hook() : 0;
+  lease_renewed_at_.store(now_micros(), std::memory_order_release);
+  session_ttl_.store(config_.session_ttl, std::memory_order_release);
   TFR_RETURN_IF_ERROR(coord_->create_session("servers", id_, config_.session_ttl,
                                              initial_payload));
   alive_.store(true, std::memory_order_release);
@@ -98,7 +102,35 @@ void RegionServer::heartbeat_tick() {
   }
   maybe_roll_wal();
   const Timestamp payload = hook ? hook() : 0;
+  // Injectable stall/loss on the renewal path: a delay here models a paused
+  // heartbeat thread (the classic GC pause — both the renewal and the
+  // self-fence check run late, which is why the fencing token exists), a
+  // fail models a renewal lost in the network without a full partition.
+  bool renewal_lost = false;
+  if (fault_ != nullptr) {
+    renewal_lost = fault_->inject(FaultOp::kCoordHeartbeat, id_).fail;
+  }
+  // Measure the lease from BEFORE the renewal is sent: if it succeeds, the
+  // coordination service's own expiry clock (which starts at receipt) can
+  // only be ahead of ours, so our self-fence deadline is conservative.
+  const Micros sent_at = now_micros();
+  if (fault_ != nullptr && (renewal_lost || fault_->partitioned(id_, "coord"))) {
+    // The renewal was lost in the network. We do NOT know whether we have
+    // been declared dead — only that the lease has not been renewed. Once
+    // our conservative estimate of the lease lapses, stop serving: by the
+    // time the master can possibly have declared us dead and handed our
+    // regions away, we are already quiet (self-fence precedes takeover).
+    if (sent_at - lease_renewed_at_.load(std::memory_order_acquire) >
+        session_ttl_.load(std::memory_order_acquire)) {
+      self_fence();
+    }
+    return;
+  }
   Status hb = coord_->heartbeat("servers", id_, payload);
+  if (hb.is_ok()) {
+    lease_renewed_at_.store(sent_at, std::memory_order_release);
+    return;
+  }
   if (hb.is_unavailable() && alive()) {
     // Declared dead (the master is already reassigning our regions): a real
     // HBase server aborts in this situation; do the same so no stale node
@@ -108,6 +140,19 @@ void RegionServer::heartbeat_tick() {
     if (!self_terminator_.joinable()) {
       self_terminator_ = std::thread([this] { crash(); });
     }
+  }
+}
+
+void RegionServer::self_fence() {
+  static Counter& fences = global_counter("kv.self_fences");
+  fences.add();
+  TFR_LOG(WARN, "rs") << id_ << " SELF-FENCING: lease not renewed within TTL ("
+                      << session_ttl_.load(std::memory_order_acquire) << "us); ceasing service";
+  // crash() joins the heartbeat thread — this IS the heartbeat thread — so
+  // delegate to the terminator, exactly like the declared-dead path.
+  MutexLock lock(terminator_mutex_);
+  if (!self_terminator_.joinable()) {
+    self_terminator_ = std::thread([this] { crash(); });
   }
 }
 
@@ -159,13 +204,21 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
   sleep_micros(transfer_micros(wire.size(), config_.network_mbps));
   bool drop_response = false;
   if (fault_ != nullptr) {
+    if (fault_->partitioned(request.client_id, id_)) {
+      // The request direction is blocked: nothing reached the server.
+      return Status::unavailable("partition: request from " + request.client_id + " to " + id_ +
+                                 " lost");
+    }
+    // An asymmetric partition blocking only the response direction behaves
+    // like a dropped ack: the work happens, the client retries.
+    if (fault_->partitioned(id_, request.client_id)) drop_response = true;
     const FaultAction action = fault_->inject(FaultOp::kRpcApply, id_);
     if (action.fail) {
       // The request was lost on the wire; nothing reached the server.
       return Status::unavailable("injected fault: request to " + id_ + " lost");
     }
     if (action.corrupt_wire) wire[wire.size() / 2] ^= 0x20;
-    drop_response = action.drop_response;
+    drop_response = drop_response || action.drop_response;
   }
   auto decoded = decode_apply_request(wire);
   if (!decoded.is_ok()) {
@@ -208,12 +261,26 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
     record.txn_id = req.txn_id;
     record.client_id = req.client_id;
     record.commit_ts = req.commit_ts;
+    record.epoch = region->epoch();
     record.cells = cells;
     auto seq = wal_->append(std::move(record));
-    if (!seq.is_ok()) return seq.status();
+    if (!seq.is_ok()) {
+      if (seq.status().is_wrong_epoch()) {
+        // Our ownership epoch is stale: the master has fenced this region
+        // (we are a zombie). Stop serving it; the client relocates.
+        TFR_LOG(WARN, "rs") << id_ << " fenced out of " << region->name()
+                            << "; taking the region offline";
+        region->set_state(RegionState::kOffline);
+      }
+      return seq.status();
+    }
     region->apply(cells, seq.value());
     if (region->memstore_bytes() > config_.memstore_flush_bytes) {
-      TFR_RETURN_IF_ERROR(region->flush_memstore());
+      Status flushed = region->flush_memstore();
+      if (!flushed.is_ok()) {
+        if (flushed.is_wrong_epoch()) region->set_state(RegionState::kOffline);
+        return flushed;
+      }
       if (config_.compaction_file_threshold != 0 &&
           region->store_file_count() > config_.compaction_file_threshold) {
         // Merge without pruning: snapshots of any age stay readable. A
@@ -250,10 +317,12 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
 }
 
 Result<std::optional<Cell>> RegionServer::get(const std::string& table, const std::string& row,
-                                              const std::string& column, Timestamp read_ts) {
+                                              const std::string& column, Timestamp read_ts,
+                                              const std::string& caller) {
   rpc_model_.charge();
   sleep_micros(transfer_micros(get_request_wire_size(table, row, column), config_.network_mbps));
   if (fault_ != nullptr) {
+    TFR_RETURN_IF_ERROR(fault_->check_partition(FaultOp::kRpcGet, caller, id_));
     TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kRpcGet, id_));
   }
   if (!alive()) return Status::unavailable("server down: " + id_);
@@ -279,9 +348,10 @@ Result<std::optional<Cell>> RegionServer::get(const std::string& table, const st
 
 Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std::string& start,
                                              const std::string& end, Timestamp read_ts,
-                                             std::size_t limit) {
+                                             std::size_t limit, const std::string& caller) {
   rpc_model_.charge();
   if (fault_ != nullptr) {
+    TFR_RETURN_IF_ERROR(fault_->check_partition(FaultOp::kRpcScan, caller, id_));
     TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kRpcScan, id_));
   }
   if (!alive()) return Status::unavailable("server down: " + id_);
@@ -304,9 +374,12 @@ Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std
 }
 
 Status RegionServer::open_region(const RegionDescriptor& desc,
-                                 const std::vector<WalRecord>& recovered_edits) {
+                                 const std::vector<WalRecord>& recovered_edits,
+                                 std::uint64_t epoch) {
   if (!alive()) return Status::unavailable("server down: " + id_);
   auto region = std::make_shared<Region>(desc, *dfs_, cache_, config_.store_block_bytes);
+  region->set_epoch(epoch);
+  region->set_epoch_registry(epochs_);
   {
     WriterLock lock(regions_mutex_);
     if (regions_.count(desc.name())) {
@@ -318,10 +391,13 @@ Status RegionServer::open_region(const RegionDescriptor& desc,
 
   // HBase internal recovery: replay the split-WAL edits into a fresh
   // memstore (§2.1). WAL them locally too, so a crash of *this* server
-  // before its next memstore flush does not re-lose them.
+  // before its next memstore flush does not re-lose them. The re-appended
+  // records are re-stamped with OUR epoch: the old owner's stamp is fenced
+  // by now, and these appends are the new epoch's writes.
   for (const auto& edit : recovered_edits) {
     WalRecord record = edit;
     record.region = desc.name();
+    record.epoch = epoch;
     auto seq = wal_->append(std::move(record));
     if (!seq.is_ok()) return seq.status();
     region->apply(edit.cells, seq.value());
@@ -384,9 +460,12 @@ Result<std::pair<RegionDescriptor, RegionDescriptor>> RegionServer::split_region
   RegionDescriptor left{pd.table, pd.start_key, split_key, next_region_id()};
   RegionDescriptor right{pd.table, split_key, pd.end_key, next_region_id()};
 
-  // Materialize each child's store file, then open both.
+  // Materialize each child's store file, then open both. Children inherit
+  // the parent's ownership epoch (the master's assignment update keeps it).
   for (const RegionDescriptor& child : {left, right}) {
     auto region_obj = std::make_shared<Region>(child, *dfs_, cache_, config_.store_block_bytes);
+    region_obj->set_epoch(parent->epoch());
+    region_obj->set_epoch_registry(epochs_);
     TFR_RETURN_IF_ERROR(region_obj->load_store_files());
     std::vector<Cell> child_cells;
     for (const auto& cell : cells.value()) {

@@ -127,15 +127,23 @@ class RegionServer {
   /// regions, notify the write-set observer, and return.
   Status apply_writeset(const ApplyRequest& req);
 
+  /// `caller` (when non-empty) is the requesting node's id, matched against
+  /// partition rules (see common/fault.h).
   Result<std::optional<Cell>> get(const std::string& table, const std::string& row,
-                                  const std::string& column, Timestamp read_ts);
+                                  const std::string& column, Timestamp read_ts,
+                                  const std::string& caller = {});
 
   Result<std::vector<Cell>> scan(const std::string& table, const std::string& start,
-                                 const std::string& end, Timestamp read_ts, std::size_t limit);
+                                 const std::string& end, Timestamp read_ts, std::size_t limit,
+                                 const std::string& caller = {});
 
   /// Open a region on this server: attach store files, replay split-WAL
   /// edits (internal recovery), run the region gate, declare online.
-  Status open_region(const RegionDescriptor& desc, const std::vector<WalRecord>& recovered_edits);
+  /// `epoch` is the ownership epoch the master granted for this assignment
+  /// (0 = unfenced); it is stamped on every WAL append and store-file
+  /// finalization the region performs here.
+  Status open_region(const RegionDescriptor& desc, const std::vector<WalRecord>& recovered_edits,
+                     std::uint64_t epoch = 0);
 
   Status close_region(const std::string& region_name);
 
@@ -189,6 +197,11 @@ class RegionServer {
   /// before traffic starts, as the Cluster does.
   void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
 
+  /// Attach the cluster's epoch registry (nullptr to detach): the WAL and
+  /// every region opened here then enforce the fencing-token check. Install
+  /// before start(), as the Cluster does.
+  void set_epoch_registry(const EpochRegistry* epochs) { epochs_ = epochs; }
+
   /// Force one heartbeat now (tests use this instead of waiting).
   void heartbeat_now() { heartbeat_tick(); }
 
@@ -196,12 +209,17 @@ class RegionServer {
   /// failure-detection window scales with it (TTL = 3 intervals).
   void set_heartbeat_interval(Micros interval) {
     (void)coord_->update_ttl("servers", id_, interval * 3);
+    session_ttl_.store(interval * 3, std::memory_order_release);
     heartbeats_.set_interval(interval);
     heartbeat_now();
   }
 
  private:
   void heartbeat_tick();
+  /// Stop serving because the coord lease could not be renewed within the
+  /// TTL: by the time the master hands our regions to a new owner, we have
+  /// already quiesced (self-fence-precedes-takeover; see DESIGN.md).
+  void self_fence();
   void wal_sync_tick();
   std::uint64_t wal_truncation_bound() const;
   std::shared_ptr<Region> region_for(const std::string& table, const std::string& row) const;
@@ -211,8 +229,15 @@ class RegionServer {
   Coord* coord_;
   RegionServerConfig config_;
   FaultInjector* fault_ = nullptr;
+  const EpochRegistry* epochs_ = nullptr;
 
   std::atomic<bool> alive_{false};
+  /// Timestamp taken just BEFORE the last successful lease renewal was sent,
+  /// so our expiry estimate is conservative with respect to the coordination
+  /// service's (which measures from receipt).
+  std::atomic<Micros> lease_renewed_at_{0};
+  /// Tracks the coord session TTL (set_heartbeat_interval re-scales it).
+  std::atomic<Micros> session_ttl_{0};
   std::unique_ptr<Wal> wal_;
   BlockCache cache_;
   Semaphore handlers_;

@@ -5,6 +5,7 @@
 #include "src/common/codec.h"
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -16,6 +17,7 @@ std::string WalRecord::encode() const {
   enc.put_u64(txn_id);
   enc.put_string(client_id);
   enc.put_i64(commit_ts);
+  enc.put_u64(epoch);
   enc.put_u32(static_cast<std::uint32_t>(cells.size()));
   for (const auto& c : cells) encode_cell(enc, c);
   std::string framed;
@@ -33,6 +35,7 @@ Result<WalRecord> WalRecord::decode(std::string_view data) {
   TFR_RETURN_IF_ERROR(dec.get_u64(&r.txn_id));
   TFR_RETURN_IF_ERROR(dec.get_string(&r.client_id));
   TFR_RETURN_IF_ERROR(dec.get_i64(&r.commit_ts));
+  TFR_RETURN_IF_ERROR(dec.get_u64(&r.epoch));
   std::uint32_t n = 0;
   TFR_RETURN_IF_ERROR(dec.get_u32(&n));
   r.cells.resize(n);
@@ -63,11 +66,27 @@ Status Wal::open_segment_locked() {
 
 Result<std::uint64_t> Wal::append(WalRecord record) {
   MutexLock lock(mutex_);
+  if (epochs_ != nullptr) {
+    Status fence = epochs_->validate(record.region, record.epoch);
+    if (!fence.is_ok()) {
+      static Counter& rejects = global_counter("kv.epoch_rejects");
+      rejects.add();
+      TFR_LOG(WARN, "wal") << base_path_ << " rejected stale-epoch append: " << fence;
+      return fence;
+    }
+  }
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
   record.seq = seq;
   const std::string framed = record.encode();
   Segment& seg = segments_.back();
-  TFR_RETURN_IF_ERROR(dfs_->append(seg.path, framed));
+  Status appended = dfs_->append(seg.path, framed);
+  if (appended.is_wrong_epoch()) {
+    // The DFS-level writer fence (master fenced our directory before the
+    // split) caught what the registry check raced past.
+    static Counter& rejects = global_counter("kv.epoch_rejects");
+    rejects.add();
+  }
+  TFR_RETURN_IF_ERROR(appended);
   if (seg.first_seq == 0) seg.first_seq = seq;
   seg.last_seq = std::max(seg.last_seq, seq);
   seg.bytes += framed.size();

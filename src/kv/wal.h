@@ -22,19 +22,22 @@
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/dfs/dfs.h"
 #include "src/kv/types.h"
 
 namespace tfr {
 
 /// One WAL record: the slice of a transaction's write-set that falls in one
-/// region, stamped with the transaction's commit timestamp.
+/// region, stamped with the transaction's commit timestamp and the writer's
+/// ownership epoch for the region (the fencing token; 0 = unfenced).
 struct WalRecord {
   std::string region;  // region name
   std::uint64_t seq = 0;
   std::uint64_t txn_id = 0;
   std::string client_id;
   Timestamp commit_ts = kNoTimestamp;
+  std::uint64_t epoch = 0;
   std::vector<Cell> cells;
 
   std::string encode() const;
@@ -56,8 +59,15 @@ class Wal {
   static Result<std::unique_ptr<Wal>> create(Dfs& dfs, std::string base_path);
 
   /// Append a record to the DFS write pipeline (NOT yet durable). Assigns
-  /// and returns the record's sequence number.
+  /// and returns the record's sequence number. With an epoch registry
+  /// attached, a record bearing a stale epoch for its region is rejected
+  /// with WrongEpoch before anything reaches the DFS (the fencing-token
+  /// check; counted in kv.epoch_rejects).
   Result<std::uint64_t> append(WalRecord record);
+
+  /// Attach the cluster's epoch registry (nullptr to detach). Not
+  /// synchronized with in-flight appends: install before traffic starts.
+  void set_epoch_registry(const EpochRegistry* epochs) { epochs_ = epochs; }
 
   /// Force everything appended so far to be durable (one DFS sync of the
   /// current segment; closed segments are already durable). This is what
@@ -111,6 +121,7 @@ class Wal {
   };
 
   Dfs* dfs_;
+  const EpochRegistry* epochs_ = nullptr;
   std::string base_path_;
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> synced_seq_{0};

@@ -71,6 +71,15 @@ void RecoveryManager::recover_state() {
     for (const auto& [path, tpr] : coord_->list(kRecoveringRegionPrefix)) {
       pending_regions_[path.substr(region_prefix)] = PendingRegion{"?", tpr};
     }
+    const std::size_t epoch_prefix = std::string(kRecoveringEpochPrefix).size();
+    for (const auto& [path, epoch] : coord_->list(kRecoveringEpochPrefix)) {
+      auto it = pending_regions_.find(path.substr(epoch_prefix));
+      if (it != pending_regions_.end()) {
+        it->second.fenced_epoch = static_cast<std::uint64_t>(epoch);
+      } else {
+        coord_->erase(path);  // stale leftover: its region marker is gone
+      }
+    }
 
     // Interrupted client recoveries restart from their original TFr(c);
     // re-flushing write-sets the old RM already replayed is idempotent.
@@ -281,11 +290,16 @@ void RecoveryManager::on_server_failure(const std::string& server_id,
     server_tp_.erase(it);
   }
   for (const auto& r : regions) {
-    pending_regions_[r] = PendingRegion{server_id, tpr};
+    // The master bumped the region's epoch before invoking this hook; record
+    // it so the gate below (and an RM resuming from the durable markers) can
+    // insist the replay target holds at least this fenced grant.
+    const std::uint64_t fenced = master_->region_epoch(r);
+    pending_regions_[r] = PendingRegion{server_id, tpr, fenced};
     // Durable marker first: the master only starts reassigning regions after
     // this hook returns, so by the time any gate can fire the pending set —
     // and therefore the replay obligation — is already crash-safe.
     coord_->put(kRecoveringRegionPrefix + r, tpr);
+    coord_->put(kRecoveringEpochPrefix + r, static_cast<std::int64_t>(fenced));
   }
   ++stats_.server_recoveries;
   publish_locked();
@@ -312,6 +326,16 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
     TFR_LOG(ERROR, "rm") << "gate for unknown region " << region_name << ": " << loc.status();
     return;
   }
+  // Replay only once the fenced epoch is in force: a gate reached while the
+  // master still routes to a pre-fence grant (e.g. a zombie owner re-opening
+  // the region on its own) must not consume the replay obligation. Leave the
+  // pending entry — and its TP floor — intact; the legitimate post-fence
+  // open will gate again.
+  if (loc.value().epoch < pending.fenced_epoch) {
+    TFR_LOG(WARN, "rm") << "gate for " << region_name << " at epoch " << loc.value().epoch
+                        << " < fenced epoch " << pending.fenced_epoch << "; replay deferred";
+    return;
+  }
 
   // Replay every write-set committed after TPr(s) whose updates fall in
   // this region, with TPr(s) piggybacked (inheritance, §3.2).
@@ -336,6 +360,7 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
     // (they inherited TPr(s) via the piggyback).
     pending_regions_.erase(region_name);
     coord_->erase(kRecoveringRegionPrefix + region_name);
+    coord_->erase(kRecoveringEpochPrefix + region_name);
     publish_locked();
   }
   idle_cv_.notify_all();

@@ -87,6 +87,10 @@ inline constexpr const char* kTpPath = "/tfr/TP";
 ///   <registry prefix>/<client> = last TF(c) of each registered client, so a
 ///     client that dies while no RM is listening is still detected.
 inline constexpr const char* kRecoveringRegionPrefix = "/tfr/recovering/region/";
+/// <epoch prefix>/<region> = ownership epoch fenced by the failure handling:
+/// the gate only accepts a replay once the master's current grant is at
+/// least this epoch, so a stale owner cannot consume the replay obligation.
+inline constexpr const char* kRecoveringEpochPrefix = "/tfr/recovering/epoch/";
 inline constexpr const char* kRecoveringClientPrefix = "/tfr/recovering/client/";
 inline constexpr const char* kClientRegistryPrefix = "/tfr/registry/client/";
 
@@ -165,6 +169,9 @@ class RecoveryManager : public MasterHooks {
   struct PendingRegion {
     std::string failed_server;  // informational; "?" after an RM restart
     Timestamp tpr = kNoTimestamp;
+    /// Epoch the master fenced the region at when handling the failure
+    /// (0 = unknown, e.g. markers written before fencing existed).
+    std::uint64_t fenced_epoch = 0;
   };
   std::map<std::string, PendingRegion> pending_regions_ TFR_GUARDED_BY(mutex_);
 

@@ -154,5 +154,73 @@ TEST(FaultInjectorTest, CheckMapsActionsToUnavailable) {
   EXPECT_EQ(s.code(), Code::kUnavailable);
 }
 
+// --- partition rules ---------------------------------------------------------
+
+TEST(FaultInjectorTest, SymmetricPartitionBlocksBothDirections) {
+  FaultInjector f;
+  const int id = f.add_partition(PartitionRule{"rs1", "coord", /*symmetric=*/true});
+  EXPECT_TRUE(f.enabled());
+  EXPECT_TRUE(f.partitioned("rs1", "coord"));
+  EXPECT_TRUE(f.partitioned("coord", "rs1"));
+  EXPECT_FALSE(f.partitioned("rs2", "coord"));
+  f.heal_partition(id);
+  EXPECT_FALSE(f.partitioned("rs1", "coord"));
+  EXPECT_FALSE(f.enabled());  // nothing left installed
+}
+
+TEST(FaultInjectorTest, AsymmetricPartitionBlocksOnlyOneDirection) {
+  FaultInjector f;
+  f.add_partition(PartitionRule{"client", "rs1", /*symmetric=*/false});
+  EXPECT_TRUE(f.partitioned("client7", "rs1"));  // prefix match on src
+  EXPECT_FALSE(f.partitioned("rs1", "client7"));  // reverse direction open
+  f.clear_partitions();
+  EXPECT_FALSE(f.partitioned("client7", "rs1"));
+}
+
+TEST(FaultInjectorTest, PartitionsActiveGaugeTracksInstallAndHeal) {
+  Counter& gauge = global_counter("fault.partitions_active");
+  const std::int64_t before = gauge.get();
+  FaultInjector f;
+  const int a = f.add_partition(PartitionRule{"rs1", "coord"});
+  const int b = f.add_partition(PartitionRule{"rs2", "coord"});
+  EXPECT_EQ(gauge.get(), before + 2);
+  f.heal_partition(a);
+  EXPECT_EQ(gauge.get(), before + 1);
+  f.heal_partition(a);  // idempotent: healing twice does not double-decrement
+  EXPECT_EQ(gauge.get(), before + 1);
+  f.heal_partition(b);
+  EXPECT_EQ(gauge.get(), before);
+  // clear_partitions on an already-empty set leaves the gauge untouched.
+  f.clear_partitions();
+  EXPECT_EQ(gauge.get(), before);
+}
+
+TEST(FaultInjectorTest, PartitionDropsAreCounted) {
+  const std::int64_t global_before = global_counter("fault.partition_drops").get();
+  FaultInjector f;
+  f.add_partition(PartitionRule{"rs1", "coord"});
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(f.partitioned("rs1", "coord"));
+  EXPECT_FALSE(f.partitioned("rs2", "coord"));  // a miss is not a drop
+  EXPECT_EQ(f.stats().partition_drops, 3);
+  EXPECT_EQ(global_counter("fault.partition_drops").get(), global_before + 3);
+  const Status s = f.check_partition(FaultOp::kCoordHeartbeat, "rs1", "coord");
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+  EXPECT_EQ(f.stats().partition_drops, 4);
+}
+
+TEST(FaultInjectorTest, ClearRulesLeavesPartitionsArmed) {
+  FaultInjector f;
+  f.reseed(1);
+  f.add_rule(apply_error_rule(1.0));
+  f.add_partition(PartitionRule{"rs1", "coord"});
+  f.clear_rules();
+  // The injector must stay enabled: an active partition outlives rule churn.
+  EXPECT_TRUE(f.enabled());
+  EXPECT_TRUE(f.partitioned("rs1", "coord"));
+  EXPECT_FALSE(f.inject(FaultOp::kRpcApply, "rs1").fail);
+  f.clear_partitions();
+  EXPECT_FALSE(f.enabled());
+}
+
 }  // namespace
 }  // namespace tfr

@@ -122,6 +122,67 @@ TEST(CoordTest, UpdateTtlExtendsTheDetectionWindow) {
   EXPECT_TRUE(coord.update_ttl("clients", "missing", seconds(1)).is_not_found());
 }
 
+// The heartbeat/expiry race: once a session's TTL has lapsed, the outcome
+// must not depend on whether the periodic expiry scan or a late heartbeat
+// observes the lapse first. Both orderings must declare the session dead
+// and fire the expiry listener exactly once.
+
+TEST(CoordTest, LateHeartbeatBeforeScanExpiresInsteadOfResurrecting) {
+  Coord coord(seconds(10));  // manual expiry checks only
+  std::atomic<int> expired_count{0};
+  HeartbeatPayload last_payload = -1;
+  coord.add_listener("servers", [&](const SessionInfo& info, bool expired) {
+    if (expired) {
+      ++expired_count;
+      last_payload = info.payload;
+    }
+  });
+  ASSERT_TRUE(coord.create_session("servers", "rs1", millis(1), 7).is_ok());
+  sleep_millis(5);  // TTL lapses with no scan having run
+  // Heartbeat-first ordering: the renewal itself must observe the lapse.
+  EXPECT_TRUE(coord.heartbeat("servers", "rs1", 8).is_unavailable());
+  EXPECT_EQ(expired_count.load(), 1);
+  EXPECT_EQ(last_payload, 7);  // the lapsed session's last good payload
+  EXPECT_TRUE(coord.live_sessions("servers").empty());
+  // The scan running afterwards must not fire the listener a second time.
+  coord.run_expiry_check();
+  EXPECT_EQ(expired_count.load(), 1);
+  // Dead is dead: further heartbeats stay rejected until re-registration.
+  EXPECT_TRUE(coord.heartbeat("servers", "rs1", 9).is_unavailable());
+  EXPECT_EQ(expired_count.load(), 1);
+  ASSERT_TRUE(coord.create_session("servers", "rs1", seconds(1)).is_ok());
+}
+
+TEST(CoordTest, ScanBeforeLateHeartbeatGivesTheSameOutcome) {
+  Coord coord(seconds(10));
+  std::atomic<int> expired_count{0};
+  coord.add_listener("servers", [&](const SessionInfo&, bool expired) {
+    if (expired) ++expired_count;
+  });
+  ASSERT_TRUE(coord.create_session("servers", "rs1", millis(1), 7).is_ok());
+  sleep_millis(5);
+  // Scan-first ordering.
+  coord.run_expiry_check();
+  EXPECT_EQ(expired_count.load(), 1);
+  EXPECT_TRUE(coord.heartbeat("servers", "rs1", 8).is_unavailable());
+  EXPECT_EQ(expired_count.load(), 1);  // exactly once, same as heartbeat-first
+  EXPECT_TRUE(coord.live_sessions("servers").empty());
+}
+
+TEST(CoordTest, HeartbeatWithinTtlStillRenews) {
+  Coord coord(seconds(10));
+  std::atomic<int> expired_count{0};
+  coord.add_listener("servers", [&](const SessionInfo&, bool expired) {
+    if (expired) ++expired_count;
+  });
+  ASSERT_TRUE(coord.create_session("servers", "rs1", millis(200)).is_ok());
+  sleep_millis(5);  // well inside the TTL
+  EXPECT_TRUE(coord.heartbeat("servers", "rs1", 1).is_ok());
+  coord.run_expiry_check();
+  EXPECT_EQ(expired_count.load(), 0);
+  EXPECT_EQ(coord.live_sessions("servers").size(), 1u);
+}
+
 TEST(CoordTest, MultipleListenersAllFire) {
   Coord coord(seconds(10));
   std::atomic<int> fired{0};
