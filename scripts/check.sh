@@ -7,6 +7,7 @@
 #   scripts/check.sh analyze             # clang -Werror=thread-safety build
 #   scripts/check.sh lint                # scripts/lint.sh (clang-tidy + greps)
 #   scripts/check.sh soak-partition      # 10-seed zombie-server partition soak
+#   scripts/check.sh bench-smoke         # ~5 s bench_commit A/B smoke run
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
 #   TFR_CXX=clang++ TFR_SANITIZE=thread scripts/check.sh   # TSan under clang
@@ -74,9 +75,26 @@ case "$MODE" in
     echo "soak-partition OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
     exit 0
     ;;
+  bench-smoke)
+    # Quick end-to-end exercise of the commit-pipeline A/B bench: a few
+    # seconds at a tiny TFR_BENCH_SCALE, checking only that both modes run
+    # and the JSON lands — the 2x speedup claim needs a full-scale run
+    # (scripts/run_benches.sh), not this.
+    BUILD_DIR=build
+    cmake -B "$BUILD_DIR" -S .
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_commit
+    rm -f BENCH_commit.json
+    TFR_BENCH_SCALE="${TFR_BENCH_SCALE:-0.02}" "$BUILD_DIR/bench/bench_commit"
+    if [ ! -f BENCH_commit.json ]; then
+      echo "bench-smoke: bench_commit did not write BENCH_commit.json" >&2
+      exit 1
+    fi
+    echo "bench-smoke OK (BENCH_commit.json written)"
+    exit 0
+    ;;
   test) ;;
   *)
-    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, or no argument)" >&2
+    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, bench-smoke, or no argument)" >&2
     exit 2
     ;;
 esac

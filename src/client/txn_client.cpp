@@ -199,14 +199,30 @@ Result<Timestamp> TxnClient::commit_writeset(const TxnHandle& handle, WriteSet w
 
 void TxnClient::flusher_loop() {
   while (auto ws = flush_queue_.pop()) {
-    Status s = kv_.flush_writeset(*ws, std::nullopt, false, &flush_cancel_);
+    // Pipelined flush: opportunistically drain whatever else is already
+    // queued (up to the batch cap) so one RPC round covers many write-sets.
+    std::vector<WriteSet> batch;
+    batch.push_back(std::move(*ws));
+    if (config_.pipelined_flush) {
+      while (batch.size() < config_.flush_batch_max) {
+        auto more = flush_queue_.try_pop();
+        if (!more) break;
+        batch.push_back(std::move(*more));
+      }
+    }
+    Status s = batch.size() == 1
+                   ? kv_.flush_writeset(batch.front(), std::nullopt, false, &flush_cancel_)
+                   : kv_.flush_writesets(batch, &flush_cancel_);
     if (!s.is_ok()) {
       // Only cancellation (crash) can break the unlimited-retry loop.
-      TFR_LOG(INFO, "client") << id_ << " flush of txn " << ws->commit_ts << " stopped: " << s;
+      TFR_LOG(INFO, "client") << id_ << " flush of " << batch.size()
+                              << " write-set(s) stopped: " << s;
       continue;
     }
-    tracker_.on_flushed(ws->commit_ts);
-    flushes_completed_.fetch_add(1, std::memory_order_relaxed);
+    for (const WriteSet& flushed : batch) {
+      tracker_.on_flushed(flushed.commit_ts);
+      flushes_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

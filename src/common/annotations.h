@@ -90,6 +90,7 @@ enum class LockRank : int {
   kRegionServer = 170,     // region_server.h region map (outer of kRegion)
   kClientLifecycle = 180,  // txn_client thread lifecycle (terminator/flushers)
   kRecoveryTracker = 190,  // flush/persist tracker, recovery-client stats
+  kThresholdRegistry = 195,  // threshold_registry.h stripes (taken under the RM mutex)
   kRecoveryManager = 200,  // recovery_manager.h TF/TP aggregation state
   kHarness = 210,          // testbed.h RM swap lock (outermost: held across replays)
   kLeaf = 40,              // default for ad-hoc mutexes: nest under anything

@@ -21,7 +21,26 @@ CounterRegistry& registry() {
   static CounterRegistry* r = new CounterRegistry();  // leaked: outlives all users
   return *r;
 }
+
+struct HistogramRegistry {
+  Mutex mutex{LockRank::kMetrics, "histogram_registry"};
+  std::map<std::string, std::unique_ptr<Histogram>> histograms TFR_GUARDED_BY(mutex);
+};
+
+HistogramRegistry& histogram_registry() {
+  static HistogramRegistry* r = new HistogramRegistry();  // leaked: outlives all users
+  return *r;
+}
 }  // namespace
+
+std::size_t Counter::thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  // One atomic increment per thread lifetime; every add() after that is a
+  // single relaxed fetch_add on a thread-private cache line.
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
 
 Counter& global_counter(const std::string& name) {
   CounterRegistry& r = registry();
@@ -44,6 +63,29 @@ void reset_global_counters() {
   CounterRegistry& r = registry();
   MutexLock lock(r.mutex);
   for (auto& [name, counter] : r.counters) counter->reset();
+}
+
+Histogram& global_histogram(const std::string& name) {
+  HistogramRegistry& r = histogram_registry();
+  MutexLock lock(r.mutex);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> global_histogram_snapshot() {
+  HistogramRegistry& r = histogram_registry();
+  MutexLock lock(r.mutex);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) out.emplace_back(name, h.get());
+  return out;
+}
+
+void reset_global_histograms() {
+  HistogramRegistry& r = histogram_registry();
+  MutexLock lock(r.mutex);
+  for (auto& [name, h] : r.histograms) h->reset();
 }
 
 Histogram::Histogram() {

@@ -91,15 +91,39 @@ class TimeSeriesRecorder {
                                                 millis(20), millis(50), millis(100), millis(500)};
 };
 
-/// Simple named atomic counter set (for tracking bytes sent, replays, ...).
+/// Simple named counter (for tracking bytes sent, replays, ...).
+///
+/// The write path is wait-free and contention-free: each thread owns one of
+/// `kStripes` cache-line-padded slots (assigned round-robin on first use) and
+/// only ever does a relaxed add on it — two threads bumping the same counter
+/// never touch the same cache line unless the thread count exceeds the stripe
+/// count. get()/reset() walk all stripes; they are read-side operations for
+/// tests and report generation, not hot paths.
 class Counter {
  public:
-  void add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
-  std::int64_t get() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void add(std::int64_t delta = 1) {
+    stripes_[thread_stripe()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t get() const {
+    std::int64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (auto& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::int64_t> value{0};
+  };
+
+  /// This thread's stripe index, assigned once per thread from a process-wide
+  /// round-robin so long-lived workers spread evenly across stripes.
+  static std::size_t thread_stripe();
+
+  Stripe stripes_[kStripes];
 };
 
 // --- process-wide counter registry -------------------------------------------
@@ -119,5 +143,18 @@ std::vector<std::pair<std::string, std::int64_t>> global_counter_snapshot();
 
 /// Zero every registered counter (tests isolate themselves with this).
 void reset_global_counters();
+
+/// The histogram registered under `name`, created on first use. Same
+/// stable-address contract as global_counter(): hot paths cache the
+/// reference and pay only the (lock-free) Histogram::record per event.
+/// Used for distributions that counters cannot express — e.g. the TM log's
+/// `log.batch_size` and `log.sync_wait`.
+Histogram& global_histogram(const std::string& name);
+
+/// (name, histogram) for every registered histogram, sorted by name.
+std::vector<std::pair<std::string, const Histogram*>> global_histogram_snapshot();
+
+/// Reset every registered histogram (tests/benches isolate with this).
+void reset_global_histograms();
 
 }  // namespace tfr

@@ -50,6 +50,15 @@ class BlockingQueue {
     return item;
   }
 
+  /// Non-blocking pop: an item if one is queued, else nullopt immediately.
+  std::optional<T> try_pop() {
+    MutexLock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Removes and returns everything currently queued (non-blocking).
   std::vector<T> drain() {
     MutexLock lock(mutex_);

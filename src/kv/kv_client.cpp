@@ -91,6 +91,111 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
   return Status::ok();
 }
 
+Status KvClient::flush_writesets(const std::vector<WriteSet>& batch,
+                                 const std::atomic<bool>* cancel) {
+  for (const WriteSet& ws : batch) {
+    if (!ws.mutations.empty() && ws.commit_ts == kNoTimestamp) {
+      return Status::invalid_argument("write-set has no commit timestamp");
+    }
+  }
+  // Per-write-set pending mutations: a server ack retires one write-set's
+  // slice at a time, so partial progress survives a failed round.
+  std::vector<std::vector<Mutation>> pending(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) pending[i] = batch[i].mutations;
+  Backoff backoff(retry_backoff_, retry_backoff_ * 32);
+
+  for (;;) {
+    bool all_done = true;
+    for (const auto& p : pending) {
+      if (!p.empty()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return Status::ok();
+    if (cancel && cancel->load(std::memory_order_acquire)) {
+      return Status::closed("flush cancelled (client died)");
+    }
+
+    // Route every pending mutation; one slice per (server, write-set).
+    std::map<std::string, std::map<std::size_t, std::vector<Mutation>>> by_server;
+    Status route_error = Status::ok();
+    for (std::size_t i = 0; i < pending.size() && route_error.is_ok(); ++i) {
+      for (const auto& m : pending[i]) {
+        auto loc = master_->locate(batch[i].table, m.row);
+        if (!loc.is_ok()) {
+          if (loc.status().is_not_found()) return loc.status();  // permanent
+          route_error = loc.status();
+          break;
+        }
+        by_server[loc.value().server_id][i].push_back(m);
+      }
+    }
+
+    if (route_error.is_ok()) {
+      std::vector<std::vector<Mutation>> still(pending.size());
+      bool any_retryable = false;
+      for (auto& [server_id, slices] : by_server) {
+        RegionServer* stub = master_->server_stub(server_id);
+        // One RPC carries every write-set's slice for this server.
+        BatchApplyRequest req;
+        std::vector<std::size_t> slice_ws;  // slice index -> write-set index
+        for (auto& [ws_index, muts] : slices) {
+          ApplyRequest slice;
+          slice.txn_id = batch[ws_index].txn_id;
+          slice.client_id = batch[ws_index].client_id;
+          slice.commit_ts = batch[ws_index].commit_ts;
+          slice.table = batch[ws_index].table;
+          slice.mutations = muts;
+          req.slices.push_back(std::move(slice));
+          slice_ws.push_back(ws_index);
+        }
+        flush_rpcs_.fetch_add(1, std::memory_order_relaxed);
+        auto result = stub == nullptr
+                          ? Result<std::vector<Status>>(
+                                Status::unavailable("unknown server " + server_id))
+                          : stub->apply_batch(req);
+        if (!result.is_ok()) {
+          // Transport-level failure: every slice in the frame is retried.
+          if (!result.status().is_unavailable() && !result.status().is_wrong_epoch()) {
+            return result.status();
+          }
+          any_retryable = true;
+          for (auto& [ws_index, muts] : slices) {
+            auto& dst = still[ws_index];
+            dst.insert(dst.end(), muts.begin(), muts.end());
+          }
+          continue;
+        }
+        const std::vector<Status>& statuses = result.value();
+        for (std::size_t s = 0; s < statuses.size(); ++s) {
+          if (statuses[s].is_ok()) continue;
+          if (!statuses[s].is_unavailable() && !statuses[s].is_wrong_epoch()) {
+            return statuses[s];  // real error
+          }
+          any_retryable = true;
+          const auto& muts = slices[slice_ws[s]];
+          auto& dst = still[slice_ws[s]];
+          dst.insert(dst.end(), muts.begin(), muts.end());
+        }
+      }
+      pending = std::move(still);
+      if (!any_retryable) continue;  // progress was clean; re-check for done
+    }
+
+    flush_retries_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& retries = global_counter("kv.flush_retries");
+    retries.add();
+    if (backoff.attempts() > 0 && backoff.attempts() % 200 == 0) {
+      TFR_LOG(WARN, "kvclient") << client_id_ << " still flushing a batch of " << batch.size()
+                                << " write-sets after " << backoff.attempts() << " retries";
+    }
+    if (!backoff.sleep(cancel)) {
+      return Status::closed("flush cancelled (client died)");
+    }
+  }
+}
+
 Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::string& row,
                                           const std::string& column, Timestamp read_ts,
                                           int max_retries) {

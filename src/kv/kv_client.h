@@ -50,6 +50,17 @@ class KvClient {
                         bool recovery_replay = false,
                         const std::atomic<bool>* cancel = nullptr);
 
+  /// Flush several committed write-sets together (the pipelined flush
+  /// path): all slices bound for the same server travel in ONE
+  /// BatchApplyRequest RPC per retry round, instead of one RPC per
+  /// write-set per server. Same termination contract as flush_writeset —
+  /// retries indefinitely, returns Ok only when EVERY write-set is fully
+  /// applied, Closed on cancel. Per-slice Unavailable/WrongEpoch outcomes
+  /// only re-queue that write-set's slice, so one moving region does not
+  /// stall the rest of the batch.
+  Status flush_writesets(const std::vector<WriteSet>& batch,
+                         const std::atomic<bool>* cancel = nullptr);
+
   /// Snapshot read. Retries through failovers until the row's region is
   /// online again; `max_retries` = 0 means retry forever.
   Result<std::optional<Cell>> get(const std::string& table, const std::string& row,

@@ -234,6 +234,69 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
   SemaphoreGuard slot(handlers_);
   if (!alive()) return Status::unavailable("server down: " + id_);
 
+  Status applied = apply_decoded(req);
+  if (!applied.is_ok()) return applied;
+
+  if (drop_response) {
+    // The write-set IS received (WAL-appended, applied, observed) but the
+    // ack never reaches the client, which re-sends — exercising idempotent
+    // reapplication (§3.2).
+    return Status::unavailable("injected fault: response from " + id_ + " dropped");
+  }
+  return Status::ok();
+}
+
+Result<std::vector<Status>> RegionServer::apply_batch(const BatchApplyRequest& batch) {
+  static Counter& batch_rpcs = global_counter("kv.batch_apply_rpcs");
+  static Counter& batch_slices = global_counter("kv.batch_apply_slices");
+  if (batch.slices.empty()) return std::vector<Status>{};
+  // All slices come from the same client flusher, so the frame has one
+  // sender for partition purposes.
+  const std::string& client_id = batch.slices.front().client_id;
+
+  std::string wire = encode_batch_apply_request(batch);
+  rpc_model_.charge();
+  sleep_micros(transfer_micros(wire.size(), config_.network_mbps));
+  bool drop_response = false;
+  if (fault_ != nullptr) {
+    if (fault_->partitioned(client_id, id_)) {
+      return Status::unavailable("partition: request from " + client_id + " to " + id_ + " lost");
+    }
+    if (fault_->partitioned(id_, client_id)) drop_response = true;
+    const FaultAction action = fault_->inject(FaultOp::kRpcApply, id_);
+    if (action.fail) {
+      return Status::unavailable("injected fault: request to " + id_ + " lost");
+    }
+    if (action.corrupt_wire) wire[wire.size() / 2] ^= 0x20;
+    drop_response = drop_response || action.drop_response;
+  }
+  auto decoded = decode_batch_apply_request(wire);
+  if (!decoded.is_ok()) {
+    // Same contract as the single-slice path: a damaged frame is NAKed as
+    // retryable and the client re-sends the whole batch (idempotent).
+    return Status::unavailable("batch frame rejected by " + id_ + ": " +
+                               decoded.status().message());
+  }
+
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  SemaphoreGuard slot(handlers_);
+  if (!alive()) return Status::unavailable("server down: " + id_);
+
+  batch_rpcs.add();
+  batch_slices.add(static_cast<std::int64_t>(decoded.value().slices.size()));
+  std::vector<Status> statuses;
+  statuses.reserve(decoded.value().slices.size());
+  for (const ApplyRequest& req : decoded.value().slices) {
+    statuses.push_back(apply_decoded(req));
+  }
+  if (drop_response) {
+    // Everything above happened, but the per-slice acks never arrive.
+    return Status::unavailable("injected fault: response from " + id_ + " dropped");
+  }
+  return statuses;
+}
+
+Status RegionServer::apply_decoded(const ApplyRequest& req) {
   // Group the mutations by target region; fail fast (before any side effect)
   // if some row is not hosted here, so the client re-locates and retries with
   // the whole slice — reapplication is idempotent.
@@ -307,12 +370,6 @@ Status RegionServer::apply_writeset(const ApplyRequest& request) {
     observer = writeset_observer_;
   }
   if (observer) observer(req.commit_ts, req.piggyback_tp);
-  if (drop_response) {
-    // The write-set IS received (WAL-appended, applied, observed) but the
-    // ack never reaches the client, which re-sends — exercising idempotent
-    // reapplication (§3.2).
-    return Status::unavailable("injected fault: response from " + id_ + " dropped");
-  }
   return Status::ok();
 }
 

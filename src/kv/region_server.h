@@ -94,6 +94,16 @@ struct ApplyRequest {
   bool recovery_replay = false;
 };
 
+/// Several write-set slices from one client to one server, shipped as a
+/// single RPC (the pipelined flush path — cf. HBase's multi-put). All
+/// slices share the sender, so network faults and partitions are evaluated
+/// once for the whole frame, while each slice keeps its own per-slice
+/// outcome (a region move can make one slice retryable without failing the
+/// rest).
+struct BatchApplyRequest {
+  std::vector<ApplyRequest> slices;
+};
+
 class RegionServer {
  public:
   RegionServer(std::string id, Dfs& dfs, Coord& coord, RegionServerConfig config);
@@ -126,6 +136,14 @@ class RegionServer {
   /// (possibly syncing, per mode), apply to the memstores of the covered
   /// regions, notify the write-set observer, and return.
   Status apply_writeset(const ApplyRequest& req);
+
+  /// Receive a batch of write-set slices in one RPC: one network round-trip
+  /// and one handler slot for the whole frame, then each slice runs the
+  /// same WAL-append/apply/observe pipeline as apply_writeset. Returns one
+  /// Status per slice (same order); a transport-level error (partition,
+  /// injected loss, frame corruption, dropped ack) fails the whole batch as
+  /// Unavailable and the client re-sends — reapplication is idempotent.
+  Result<std::vector<Status>> apply_batch(const BatchApplyRequest& batch);
 
   /// `caller` (when non-empty) is the requesting node's id, matched against
   /// partition rules (see common/fault.h).
@@ -215,6 +233,10 @@ class RegionServer {
   }
 
  private:
+  /// The post-transport core of apply_writeset: WAL-append, apply to
+  /// memstores, observe. Caller has decoded the request, checked liveness,
+  /// and holds a handler slot.
+  Status apply_decoded(const ApplyRequest& req);
   void heartbeat_tick();
   /// Stop serving because the coord lease could not be renewed within the
   /// TTL: by the time the master hands our regions to a new owner, we have

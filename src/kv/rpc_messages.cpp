@@ -57,6 +57,41 @@ Result<ApplyRequest> decode_apply_request(std::string_view wire) {
   return req;
 }
 
+std::string encode_batch_apply_request(const BatchApplyRequest& batch) {
+  std::string out;
+  Encoder enc(&out);
+  enc.put_u32(static_cast<std::uint32_t>(batch.slices.size()));
+  for (const auto& slice : batch.slices) enc.put_string(encode_apply_request(slice));
+  enc.put_u32(crc32c(out));
+  return out;
+}
+
+Result<BatchApplyRequest> decode_batch_apply_request(std::string_view wire) {
+  if (wire.size() < 4) return Status::corruption("BatchApplyRequest frame too short");
+  {
+    std::uint32_t expected = 0;
+    std::memcpy(&expected, wire.data() + wire.size() - 4, 4);
+    if (crc32c(wire.substr(0, wire.size() - 4)) != expected) {
+      return Status::corruption("BatchApplyRequest frame checksum mismatch");
+    }
+  }
+  wire.remove_suffix(4);
+  Decoder dec(wire);
+  std::uint32_t n = 0;
+  TFR_RETURN_IF_ERROR(dec.get_u32(&n));
+  BatchApplyRequest batch;
+  batch.slices.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string inner;
+    TFR_RETURN_IF_ERROR(dec.get_string(&inner));
+    auto slice = decode_apply_request(inner);
+    if (!slice.is_ok()) return slice.status();
+    batch.slices.push_back(std::move(slice).value());
+  }
+  if (!dec.done()) return Status::corruption("trailing bytes in BatchApplyRequest");
+  return batch;
+}
+
 std::size_t get_request_wire_size(const std::string& table, const std::string& row,
                                   const std::string& column) {
   // Three length-prefixed strings plus the snapshot timestamp.

@@ -17,6 +17,15 @@ std::string encode_apply_request(const ApplyRequest& req);
 /// Decode the wire form; Corruption on malformed input.
 Result<ApplyRequest> decode_apply_request(std::string_view wire);
 
+/// Serialize a batch of slices: a count, then each slice as a
+/// length-prefixed inner ApplyRequest frame (inner CRC intact), then an
+/// outer frame checksum over the whole batch.
+std::string encode_batch_apply_request(const BatchApplyRequest& batch);
+
+/// Decode the batch wire form; Corruption on a damaged outer frame or any
+/// damaged inner frame.
+Result<BatchApplyRequest> decode_batch_apply_request(std::string_view wire);
+
 /// Wire sizes of the simple read RPCs (the requests are tiny and the
 /// response carries the data; both sides count).
 std::size_t get_request_wire_size(const std::string& table, const std::string& row,

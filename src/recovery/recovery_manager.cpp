@@ -56,12 +56,18 @@ void RecoveryManager::recover_state() {
     MutexLock lock(mutex_);
     // §3.3: the thresholds are recoverable from the coordination service; the
     // registries repopulate from the live sessions' piggybacked payloads.
-    if (auto tf = coord_->get(kTfPath)) published_tf_ = std::max(published_tf_, *tf);
-    if (auto tp = coord_->get(kTpPath)) published_tp_ = std::max(published_tp_, *tp);
+    if (auto tf = coord_->get(kTfPath)) {
+      published_tf_.store(std::max(published_tf_.load(std::memory_order_relaxed), *tf),
+                          std::memory_order_relaxed);
+    }
+    if (auto tp = coord_->get(kTpPath)) {
+      published_tp_.store(std::max(published_tp_.load(std::memory_order_relaxed), *tp),
+                          std::memory_order_relaxed);
+    }
     client_tf_.clear();
     server_tp_.clear();
-    for (const auto& s : coord_->live_sessions("clients")) client_tf_[s.name] = s.payload;
-    for (const auto& s : coord_->live_sessions("servers")) server_tp_[s.name] = s.payload;
+    for (const auto& s : coord_->live_sessions("clients")) client_tf_.set(s.name, s.payload);
+    for (const auto& s : coord_->live_sessions("servers")) server_tp_.set(s.name, s.payload);
 
     // Re-adopt the in-flight server recoveries: every pending region floors
     // TP again at its TPr(s), and a gate firing after the restart still finds
@@ -93,7 +99,7 @@ void RecoveryManager::recover_state() {
     const std::size_t registry_prefix = std::string(kClientRegistryPrefix).size();
     for (const auto& [path, tfc] : coord_->list(kClientRegistryPrefix)) {
       const std::string id = path.substr(registry_prefix);
-      if (client_tf_.count(id)) continue;
+      if (client_tf_.get(id)) continue;
       const bool already_resuming = std::any_of(
           resume.begin(), resume.end(), [&](const auto& r) { return r.first == id; });
       if (already_resuming) continue;
@@ -106,7 +112,8 @@ void RecoveryManager::recover_state() {
       client_recovery_floor_[id] = tfr;
       ++stats_.client_recoveries;
     }
-    TFR_LOG(INFO, "rm") << "state recovered: TF=" << published_tf_ << " TP=" << published_tp_
+    TFR_LOG(INFO, "rm") << "state recovered: TF=" << published_tf_.load(std::memory_order_relaxed)
+                        << " TP=" << published_tp_.load(std::memory_order_relaxed)
                         << " clients=" << client_tf_.size() << " servers=" << server_tp_.size()
                         << " pending regions=" << pending_regions_.size()
                         << " resumed client recoveries=" << resume.size();
@@ -121,83 +128,70 @@ void RecoveryManager::recover_state() {
 // --- threshold maintenance ---------------------------------------------------
 
 Timestamp RecoveryManager::compute_tf_locked() const {
-  // TF = min over all clients' reported thresholds, with in-flight client
-  // recoveries holding the floor at TFr(c).
-  bool any = false;
-  Timestamp tf = kMaxTimestamp;
-  for (const auto& [c, t] : client_tf_) {
-    tf = std::min(tf, t);
-    any = true;
-  }
-  for (const auto& [c, t] : client_recovery_floor_) {
-    tf = std::min(tf, t);
-    any = true;
-  }
-  if (!any) {
+  // TF = min over all clients' reported thresholds (the registry's striped,
+  // lock-free min), with in-flight client recoveries holding the floor at
+  // TFr(c).
+  Timestamp tf = client_tf_.min();
+  for (const auto& [c, t] : client_recovery_floor_) tf = std::min(tf, t);
+  if (tf == kMaxTimestamp) {
     // No clients: every commit ever issued came from a client that either
     // unregistered cleanly (all flushed) or was recovered (replayed), so
     // the whole timestamp range is flushed.
     tf = tm_->current_ts();
   }
-  return std::max(published_tf_, tf);
+  return std::max(published_tf_.load(std::memory_order_relaxed), tf);
 }
 
 Timestamp RecoveryManager::compute_tp_locked() const {
-  bool any = false;
-  Timestamp tp = kMaxTimestamp;
-  for (const auto& [s, t] : server_tp_) {
-    tp = std::min(tp, t);
-    any = true;
-  }
+  Timestamp tp = server_tp_.min();
   // Every region still awaiting transactional replay pins TP at the TPr(s)
   // of its failure, so the recovery log cannot be truncated under it.
-  for (const auto& [r, pending] : pending_regions_) {
-    tp = std::min(tp, pending.tpr);
-    any = true;
-  }
-  if (!any) tp = published_tf_;  // no servers and nothing pending: all persisted
-  tp = std::min(tp, published_tf_);  // the global invariant TP <= TF
-  return std::max(published_tp_, tp);
+  for (const auto& [r, pending] : pending_regions_) tp = std::min(tp, pending.tpr);
+  const Timestamp tf = published_tf_.load(std::memory_order_relaxed);
+  if (tp == kMaxTimestamp) tp = tf;  // no servers and nothing pending: all persisted
+  tp = std::min(tp, tf);  // the global invariant TP <= TF
+  return std::max(published_tp_.load(std::memory_order_relaxed), tp);
 }
 
 void RecoveryManager::publish_locked() {
-  published_tf_ = compute_tf_locked();
-  published_tp_ = compute_tp_locked();
-  coord_->put(kTfPath, published_tf_);
-  coord_->put(kTpPath, published_tp_);
-  if (config_.checkpoint_log && !config_.ignore_thresholds) tm_->checkpoint(published_tp_);
+  const Timestamp tf = compute_tf_locked();
+  published_tf_.store(tf, std::memory_order_release);
+  const Timestamp tp = compute_tp_locked();
+  published_tp_.store(tp, std::memory_order_release);
+  coord_->put(kTfPath, tf);
+  coord_->put(kTpPath, tp);
+  if (config_.checkpoint_log && !config_.ignore_thresholds) tm_->checkpoint(tp);
 }
 
 void RecoveryManager::poll_tick() {
+  // mutex_ is held across snapshot + ingest + publish so a session that
+  // departs concurrently (its listener erases the registry entry under this
+  // same mutex) cannot be resurrected by a stale snapshot — the registry
+  // stripes synchronize individual updates, but the erase-vs-reinsert
+  // ordering needs the RM mutex.
   MutexLock lock(mutex_);
-  // Ingest the latest piggybacked thresholds. Client TF(c) is monotonic;
-  // server TP(s) can be *lowered* by inheritance, so take it verbatim.
+  // Ingest the latest piggybacked thresholds. Client TF(c) is monotonic
+  // (max-merge); server TP(s) can be *lowered* by inheritance, so take it
+  // verbatim.
   for (const auto& s : coord_->live_sessions("clients")) {
-    auto it = client_tf_.find(s.name);
-    if (it == client_tf_.end()) {
-      it = client_tf_.emplace(s.name, s.payload).first;  // registration (Algorithm 2)
-    } else {
-      it->second = std::max(it->second, s.payload);
-    }
+    client_tf_.raise(s.name, s.payload);  // creates on first sight (Algorithm 2)
     // Durable registry: if this client dies while no RM is listening, the
     // next RM still knows it existed and what to replay from.
-    coord_->put(kClientRegistryPrefix + s.name, it->second);
+    if (auto tfc = client_tf_.get(s.name)) coord_->put(kClientRegistryPrefix + s.name, *tfc);
   }
   for (const auto& s : coord_->live_sessions("servers")) {
-    server_tp_[s.name] = s.payload;
+    server_tp_.set(s.name, s.payload);
   }
   publish_locked();
   ++stats_.threshold_refreshes;
 }
 
 Timestamp RecoveryManager::global_tf() const {
-  MutexLock lock(mutex_);
-  return published_tf_;
+  return published_tf_.load(std::memory_order_acquire);
 }
 
 Timestamp RecoveryManager::global_tp() const {
-  MutexLock lock(mutex_);
-  return published_tp_;
+  return published_tp_.load(std::memory_order_acquire);
 }
 
 // --- client failure handling (Algorithm 2) ------------------------------------
@@ -206,19 +200,22 @@ void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
   if (!expired) {
     // Clean unregister: drop the client from TF maintenance (§3.1).
     MutexLock lock(mutex_);
-    client_tf_.erase(info.name);
+    (void)client_tf_.erase(info.name);
     coord_->erase(kClientRegistryPrefix + info.name);
     publish_locked();
     return;
   }
   {
     MutexLock lock(mutex_);
-    client_tf_.erase(info.name);
     // Hold TF at TFr(c) until the replay completes: servers must not be
     // told that these transactions are "fully flushed" while the recovery
-    // client is still re-flushing them. The durable marker lets an RM that
-    // restarts mid-replay resume from the same floor.
+    // client is still re-flushing them. The floor is installed BEFORE the
+    // registry entry is erased (see threshold_registry.h: erasure is the
+    // only operation that can raise the min past a component with
+    // unflushed work). The durable marker lets an RM that restarts
+    // mid-replay resume from the same floor.
     client_recovery_floor_[info.name] = info.payload;
+    (void)client_tf_.erase(info.name);
     coord_->put(kRecoveringClientPrefix + info.name, info.payload);
     coord_->erase(kClientRegistryPrefix + info.name);
     ++stats_.client_recoveries;
@@ -264,7 +261,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
     // Clean shutdown: the server flushed and synced everything it had, and
     // its final heartbeat reported an up-to-date TP(s).
     MutexLock lock(mutex_);
-    server_tp_.erase(info.name);
+    (void)server_tp_.erase(info.name);
     publish_locked();
     return;
   }
@@ -272,22 +269,16 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
   // master, possibly before our next poll) sees the freshest TPr(s). The
   // registry entry stays until then, conservatively pinning the global TP.
   MutexLock lock(mutex_);
-  auto it = server_tp_.find(info.name);
-  if (it == server_tp_.end()) {
-    server_tp_[info.name] = info.payload;
-  } else {
-    it->second = std::min(it->second, info.payload);
-  }
+  server_tp_.lower(info.name, info.payload);
 }
 
 void RecoveryManager::on_server_failure(const std::string& server_id,
                                         const std::vector<std::string>& regions) {
   MutexLock lock(mutex_);
-  Timestamp tpr = published_tp_;  // conservative fallback
-  auto it = server_tp_.find(server_id);
-  if (it != server_tp_.end()) {
-    tpr = it->second;
-    server_tp_.erase(it);
+  Timestamp tpr = published_tp_.load(std::memory_order_relaxed);  // conservative fallback
+  if (auto tps = server_tp_.get(server_id)) {
+    tpr = *tps;
+    (void)server_tp_.erase(server_id);
   }
   for (const auto& r : regions) {
     // The master bumped the region's epoch before invoking this hook; record

@@ -1,0 +1,112 @@
+#include "src/recovery/threshold_registry.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tfr {
+
+namespace {
+Timestamp min_of(const std::map<std::string, Timestamp>& entries) {
+  Timestamp m = kMaxTimestamp;
+  for (const auto& [id, ts] : entries) m = std::min(m, ts);
+  return m;
+}
+}  // namespace
+
+ShardedThresholdRegistry::ShardedThresholdRegistry(std::size_t stripes) {
+  stripes_.reserve(std::max<std::size_t>(1, stripes));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, stripes); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+ShardedThresholdRegistry::Stripe& ShardedThresholdRegistry::stripe_for(
+    const std::string& id) const {
+  return *stripes_[std::hash<std::string>{}(id) % stripes_.size()];
+}
+
+void ShardedThresholdRegistry::raise(const std::string& id, Timestamp ts) {
+  Stripe& s = stripe_for(id);
+  MutexLock lock(s.mutex);
+  auto it = s.entries.find(id);
+  if (it != s.entries.end()) {
+    if (ts <= it->second) return;  // max-merge: nothing rises, min unchanged
+    it->second = ts;
+  } else {
+    s.entries.emplace(id, ts);
+  }
+  s.published_min.store(min_of(s.entries), std::memory_order_release);
+}
+
+void ShardedThresholdRegistry::set(const std::string& id, Timestamp ts) {
+  Stripe& s = stripe_for(id);
+  MutexLock lock(s.mutex);
+  s.entries[id] = ts;
+  s.published_min.store(min_of(s.entries), std::memory_order_release);
+}
+
+void ShardedThresholdRegistry::lower(const std::string& id, Timestamp ts) {
+  Stripe& s = stripe_for(id);
+  MutexLock lock(s.mutex);
+  auto it = s.entries.find(id);
+  if (it != s.entries.end()) {
+    if (ts >= it->second) return;  // min-merge: nothing lowers, min unchanged
+    it->second = ts;
+  } else {
+    s.entries.emplace(id, ts);
+  }
+  s.published_min.store(min_of(s.entries), std::memory_order_release);
+}
+
+bool ShardedThresholdRegistry::erase(const std::string& id) {
+  Stripe& s = stripe_for(id);
+  MutexLock lock(s.mutex);
+  const bool existed = s.entries.erase(id) != 0;
+  if (existed) s.published_min.store(min_of(s.entries), std::memory_order_release);
+  return existed;
+}
+
+std::optional<Timestamp> ShardedThresholdRegistry::get(const std::string& id) const {
+  Stripe& s = stripe_for(id);
+  MutexLock lock(s.mutex);
+  auto it = s.entries.find(id);
+  if (it == s.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ShardedThresholdRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& s : stripes_) {
+    MutexLock lock(s->mutex);
+    n += s->entries.size();
+  }
+  return n;
+}
+
+Timestamp ShardedThresholdRegistry::min() const {
+  Timestamp m = kMaxTimestamp;
+  for (const auto& s : stripes_) {
+    m = std::min(m, s->published_min.load(std::memory_order_acquire));
+  }
+  return m;
+}
+
+std::vector<std::pair<std::string, Timestamp>> ShardedThresholdRegistry::snapshot() const {
+  std::vector<std::pair<std::string, Timestamp>> out;
+  for (const auto& s : stripes_) {
+    MutexLock lock(s->mutex);
+    for (const auto& [id, ts] : s->entries) out.emplace_back(id, ts);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShardedThresholdRegistry::clear() {
+  for (const auto& s : stripes_) {
+    MutexLock lock(s->mutex);
+    s->entries.clear();
+    s->published_min.store(kMaxTimestamp, std::memory_order_release);
+  }
+}
+
+}  // namespace tfr

@@ -1,0 +1,91 @@
+// ShardedThresholdRegistry — the striped per-component threshold table the
+// recovery manager keeps for Algorithm 2's registry C (client -> TF(c)) and
+// Algorithm 4's registry S (server -> TP(s)).
+//
+// The old representation was a std::map inside the recovery-manager mutex,
+// so every per-component update and every global-min computation serialized
+// on one lock. Here entries are hashed across independent stripes, each with
+// its own mutex, and every stripe re-publishes its local minimum into an
+// atomic after each mutation. The global aggregation
+//
+//     TF = min_c TF(c)  /  TP = min_s TP(s)
+//
+// then reads one atomic per stripe and takes no locks at all.
+//
+// Why the lock-free min is safe for Algorithm 2 (the full argument is in
+// DESIGN.md "Sharded threshold registries"):
+//   * raise() is a max-merge — an entry only ever rises — so a min() scan
+//     racing concurrent raises can only UNDER-estimate the instantaneous
+//     minimum. TF is a promise that everything at or below it is flushed;
+//     an under-estimate weakens the promise, never breaks it.
+//   * the dangerous direction — an entry DISAPPEARING so min() overshoots a
+//     component that still has unflushed transactions — only happens via
+//     erase(), and the recovery manager only erases while holding its own
+//     mutex with the matching recovery floor installed first, so the
+//     aggregated threshold is floored before the constraint is removed.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/annotations.h"
+#include "src/kv/types.h"
+
+namespace tfr {
+
+class ShardedThresholdRegistry {
+ public:
+  static constexpr std::size_t kDefaultStripes = 16;
+
+  explicit ShardedThresholdRegistry(std::size_t stripes = kDefaultStripes);
+
+  ShardedThresholdRegistry(const ShardedThresholdRegistry&) = delete;
+  ShardedThresholdRegistry& operator=(const ShardedThresholdRegistry&) = delete;
+
+  /// Max-merge: create the entry, or raise it monotonically (the TF(c)
+  /// ingestion path — a stale heartbeat payload can never lower a
+  /// threshold).
+  void raise(const std::string& id, Timestamp ts);
+
+  /// Overwrite verbatim (the TP(s) ingestion path: inheritance can
+  /// legitimately lower a server's threshold).
+  void set(const std::string& id, Timestamp ts);
+
+  /// Min-merge: create the entry, or lower it (the crash-payload path —
+  /// keep the most conservative value seen).
+  void lower(const std::string& id, Timestamp ts);
+
+  /// Remove the entry. Returns true if it existed. See the header comment:
+  /// callers must install any needed floor BEFORE erasing.
+  bool erase(const std::string& id);
+
+  std::optional<Timestamp> get(const std::string& id) const;
+  std::size_t size() const;
+
+  /// min over all entries, kMaxTimestamp when empty. Lock-free: reads each
+  /// stripe's published minimum.
+  Timestamp min() const;
+
+  std::vector<std::pair<std::string, Timestamp>> snapshot() const;
+  void clear();
+
+ private:
+  struct Stripe {
+    mutable Mutex mutex{LockRank::kThresholdRegistry, "threshold_registry"};
+    std::map<std::string, Timestamp> entries TFR_GUARDED_BY(mutex);
+    /// Stripe-local minimum, re-published under the stripe mutex after
+    /// every mutation that can change it; kMaxTimestamp when empty.
+    std::atomic<Timestamp> published_min{kMaxTimestamp};
+  };
+
+  Stripe& stripe_for(const std::string& id) const;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace tfr

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
@@ -50,21 +51,48 @@ Status TxnLog::append(WriteSet ws) {
 }
 
 void TxnLog::appender_loop(Lane& lane) {
+  static Histogram& batch_hist = global_histogram("log.batch_size");
+  static Histogram& sync_hist = global_histogram("log.sync_wait");
   for (;;) {
     std::vector<std::shared_ptr<Pending>> batch;
+    bool waited = false;
     {
       MutexLock lock(mutex_);
       while (lane.queue.empty() && !stop_) lane.work_cv.wait(lock);
       if (stop_) return;
+      if (config_.adaptive && lane.queue.size() < config_.max_batch &&
+          static_cast<double>(lane.queue.size()) < lane.ewma_batch) {
+        // The queue at wake is shallower than the recent batch size: more
+        // appenders are likely mid-flight, so hold the sync briefly to let
+        // them join. The window is worth at most half a sync — beyond that
+        // the wait costs more than the sync it would save.
+        const Micros window =
+            std::min(static_cast<Micros>(lane.ewma_sync_us / 2), config_.max_group_wait);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(window);
+        while (!stop_ && lane.queue.size() < config_.max_batch &&
+               static_cast<double>(lane.queue.size()) < lane.ewma_batch) {
+          waited = true;
+          if (!lane.work_cv.wait_until(lock, deadline)) break;
+        }
+        if (stop_) return;
+      }
       const std::size_t take = std::min(lane.queue.size(), config_.max_batch);
       batch.assign(lane.queue.begin(), lane.queue.begin() + static_cast<std::ptrdiff_t>(take));
       lane.queue.erase(lane.queue.begin(), lane.queue.begin() + static_cast<std::ptrdiff_t>(take));
     }
     // One stable-storage write for the whole batch (group commit). Lanes
     // overlap here: this sleep happens outside the shared mutex.
+    const Micros sync_start = now_micros();
     lane.sync_model.charge();
+    const Micros sync_us = now_micros() - sync_start;
+    batch_hist.record(static_cast<Micros>(batch.size()));
+    sync_hist.record(sync_us);
     {
       MutexLock lock(mutex_);
+      // EWMAs react in a few batches but smooth over jitter (alpha = 1/4).
+      lane.ewma_sync_us += (static_cast<double>(sync_us) - lane.ewma_sync_us) / 4;
+      lane.ewma_batch += (static_cast<double>(batch.size()) - lane.ewma_batch) / 4;
       for (auto& p : batch) {
         stats_.live_bytes += static_cast<std::int64_t>(p->ws.byte_size());
         records_[p->ws.commit_ts] = p->ws;
@@ -73,6 +101,7 @@ void TxnLog::appender_loop(Lane& lane) {
       }
       stats_.live_records = static_cast<std::int64_t>(records_.size());
       ++stats_.batches;
+      if (waited) ++stats_.group_waits;
     }
     done_cv_.notify_all();
   }

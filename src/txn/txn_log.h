@@ -45,6 +45,17 @@ struct TxnLogConfig {
   Micros sync_jitter = 0;
   std::size_t max_batch = 256;  ///< cap on write-sets per batch
   int lanes = 1;  ///< independent logging nodes (paper §4.1)
+
+  /// Adaptive group commit: when an appender wakes to a queue shallower than
+  /// the recent batch size, it holds the stable-storage write for a short
+  /// accumulation window — bounded by half the observed sync latency and by
+  /// `max_group_wait` — so stragglers join the batch instead of paying a sync
+  /// of their own. With `adaptive = false` every wake syncs immediately (the
+  /// legacy fixed-batch behaviour, kept flag-selectable for the bench A/B).
+  /// Batch sizes and sync waits are exported as the `log.batch_size` /
+  /// `log.sync_wait` global histograms either way.
+  bool adaptive = true;
+  Micros max_group_wait = millis(2);  ///< hard cap on the accumulation window
 };
 
 struct TxnLogStats {
@@ -53,6 +64,7 @@ struct TxnLogStats {
   std::int64_t truncated = 0;
   std::int64_t live_records = 0;
   std::int64_t live_bytes = 0;
+  std::int64_t group_waits = 0;  ///< batches that held for the adaptive window
 };
 
 class TxnLog {
@@ -95,6 +107,11 @@ class TxnLog {
     std::vector<std::shared_ptr<Pending>> queue;
     std::thread appender;
     LatencyModel sync_model;
+    // Adaptive group-commit state (touched only by this lane's appender,
+    // under mutex_): exponential averages of the observed sync latency and
+    // batch size that size the accumulation window.
+    double ewma_sync_us = 0;
+    double ewma_batch = 1;
   };
 
   void appender_loop(Lane& lane);
