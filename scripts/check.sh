@@ -76,20 +76,25 @@ case "$MODE" in
     exit 0
     ;;
   bench-smoke)
-    # Quick end-to-end exercise of the commit-pipeline A/B bench: a few
-    # seconds at a tiny TFR_BENCH_SCALE, checking only that both modes run
-    # and the JSON lands — the 2x speedup claim needs a full-scale run
-    # (scripts/run_benches.sh), not this.
+    # Quick end-to-end exercise of the A/B hot-path benches: a few seconds
+    # each at a tiny TFR_BENCH_SCALE, checking only that all modes run and
+    # the JSON lands — the speedup claims (2x commit, 2x/5x read) need a
+    # full-scale run (scripts/run_benches.sh), not this.
     BUILD_DIR=build
     cmake -B "$BUILD_DIR" -S .
-    cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_commit
-    rm -f BENCH_commit.json
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_commit bench_read
+    rm -f BENCH_commit.json BENCH_read.json
     TFR_BENCH_SCALE="${TFR_BENCH_SCALE:-0.02}" "$BUILD_DIR/bench/bench_commit"
     if [ ! -f BENCH_commit.json ]; then
       echo "bench-smoke: bench_commit did not write BENCH_commit.json" >&2
       exit 1
     fi
-    echo "bench-smoke OK (BENCH_commit.json written)"
+    TFR_BENCH_SCALE="${TFR_BENCH_SCALE:-0.02}" "$BUILD_DIR/bench/bench_read"
+    if [ ! -f BENCH_read.json ]; then
+      echo "bench-smoke: bench_read did not write BENCH_read.json" >&2
+      exit 1
+    fi
+    echo "bench-smoke OK (BENCH_commit.json, BENCH_read.json written)"
     exit 0
     ;;
   test) ;;

@@ -5,6 +5,17 @@
 // DFS read latency; this is the mechanism behind the slow warm-up after a
 // failover in Figure 3: the regions that move to the surviving server arrive
 // with a completely cold cache.
+//
+// The cache is sharded into independent LRU stripes (key hash picks the
+// stripe) so concurrent readers don't serialize on one mutex, and each miss
+// is single-flight: the first thread to miss a key runs the loader; threads
+// that miss the same key while the load is in flight wait and share the
+// result instead of stampeding the DFS with duplicate reads. A failed load
+// wakes the waiters and the next one retries as the new loader.
+//
+// Event counts are published both per-cache (stats()) and process-wide
+// under kv.cache.{hits,misses,evictions,bytes} in the global metrics
+// registry, so soaks and benches can watch hit rates without plumbing.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +24,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/annotations.h"
@@ -35,15 +47,22 @@ struct BlockCacheStats {
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
   std::int64_t bytes = 0;
+  /// Lookups that found another thread already loading the key and waited
+  /// for its result instead of re-running the loader.
+  std::int64_t single_flight_waits = 0;
 };
 
 class BlockCache {
  public:
-  explicit BlockCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+  /// `num_shards` is rounded up to a power of two; 0 picks the default (16).
+  /// Capacity is split evenly across shards.
+  explicit BlockCache(std::size_t capacity_bytes, std::size_t num_shards = 0);
 
   /// Look up `key`; on miss, call `loader` (which typically performs a DFS
   /// read and therefore blocks for the read latency), insert, and return.
-  /// The loader runs outside the cache lock.
+  /// The loader runs outside the cache lock, and at most one loader per key
+  /// is in flight — concurrent misses on the same key wait and share the
+  /// loaded block.
   Result<BlockPtr> get_or_load(const std::string& key,
                                const std::function<Result<BlockPtr>()>& loader);
 
@@ -53,21 +72,32 @@ class BlockCache {
 
   void clear();
 
+  /// Aggregated over all shards.
   BlockCacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
-  void evict_to_fit_locked() TFR_REQUIRES(mutex_);
+  struct Shard {
+    mutable Mutex mutex{LockRank::kBlockCache, "block_cache_shard"};
+    CondVar load_done;  // signaled whenever an in-flight load finishes
+    std::list<std::string> lru TFR_GUARDED_BY(mutex);  // front = most recent
+    struct Entry {
+      BlockPtr block;
+      std::list<std::string>::iterator lru_it;
+    };
+    std::unordered_map<std::string, Entry> map TFR_GUARDED_BY(mutex);
+    std::unordered_set<std::string> loading TFR_GUARDED_BY(mutex);
+    BlockCacheStats stats TFR_GUARDED_BY(mutex);
+    std::size_t capacity = 0;
+
+    void evict_to_fit() TFR_REQUIRES(mutex);
+  };
+
+  Shard& shard_for(const std::string& key) const;
 
   std::size_t capacity_;
-  mutable Mutex mutex_{LockRank::kBlockCache, "block_cache"};
-  std::list<std::string> lru_ TFR_GUARDED_BY(mutex_);  // front = most recent
-  struct Entry {
-    BlockPtr block;
-    std::list<std::string>::iterator lru_it;
-  };
-  std::unordered_map<std::string, Entry> map_ TFR_GUARDED_BY(mutex_);
-  BlockCacheStats stats_ TFR_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tfr

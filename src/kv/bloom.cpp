@@ -1,0 +1,62 @@
+#include "src/kv/bloom.h"
+
+#include <algorithm>
+
+namespace tfr {
+
+std::uint64_t bloom_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+/// Double hashing: probe i lands at h1 + i*h2. h2 is forced odd so the
+/// probe sequence cycles through the whole (power-free) bit range even for
+/// degenerate h1.
+inline std::uint64_t probe_bit(std::uint64_t hash, int i, std::uint64_t nbits) {
+  const std::uint64_t h1 = hash;
+  const std::uint64_t h2 = (hash >> 33) | 1;
+  return (h1 + static_cast<std::uint64_t>(i) * h2) % nbits;
+}
+}  // namespace
+
+BloomFilter BloomFilter::build(const std::vector<std::uint64_t>& hashes, int bits_per_key) {
+  BloomFilter f;
+  if (hashes.empty()) return f;
+  // k = bits_per_key * ln2, clamped to a sane range; 10 bits/key -> k=6.
+  f.probes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+  const std::uint64_t nbits =
+      std::max<std::uint64_t>(64, hashes.size() * static_cast<std::uint64_t>(bits_per_key));
+  f.bits_.assign((nbits + 7) / 8, '\0');
+  const std::uint64_t rounded = f.bits_.size() * 8;
+  for (const auto h : hashes) {
+    for (int i = 0; i < f.probes_; ++i) {
+      const std::uint64_t bit = probe_bit(h, i, rounded);
+      f.bits_[bit / 8] |= static_cast<char>(1u << (bit % 8));
+    }
+  }
+  return f;
+}
+
+bool BloomFilter::may_contain(std::uint64_t hash) const {
+  if (bits_.empty()) return true;
+  const std::uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < probes_; ++i) {
+    const std::uint64_t bit = probe_bit(hash, i, nbits);
+    if ((bits_[bit / 8] & static_cast<char>(1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+BloomFilter BloomFilter::from_parts(std::string bits, int probes) {
+  BloomFilter f;
+  f.bits_ = std::move(bits);
+  f.probes_ = probes;
+  return f;
+}
+
+}  // namespace tfr

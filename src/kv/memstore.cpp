@@ -52,6 +52,17 @@ std::vector<Cell> Memstore::scan(const std::string& start, const std::string& en
   return out;
 }
 
+std::vector<Cell> Memstore::range_snapshot(const std::string& start,
+                                           const std::string& end) const {
+  std::vector<Cell> out;
+  for (auto it = cells_.lower_bound(Key{start, "", kMaxTimestamp}); it != cells_.end(); ++it) {
+    if (!end.empty() && it->first.row >= end) break;
+    out.push_back(Cell{it->first.row, it->first.column, it->second.value, it->first.ts,
+                       it->second.tombstone});
+  }
+  return out;
+}
+
 void Memstore::clear() {
   cells_.clear();
   bytes_ = 0;

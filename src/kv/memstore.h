@@ -35,6 +35,12 @@ class Memstore {
   std::vector<Cell> scan(const std::string& start, const std::string& end,
                          Timestamp read_ts) const;
 
+  /// Every version of every (row, column) with row in [start, end), in
+  /// (row, column, ts desc) order. The streaming read path snapshots the
+  /// memstore's slice of a scan with this (visibility is resolved after the
+  /// merge with the store files, so all versions must travel).
+  std::vector<Cell> range_snapshot(const std::string& start, const std::string& end) const;
+
   void clear();
 
   std::size_t cell_count() const { return cells_.size(); }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
@@ -40,20 +39,23 @@ std::string Region::data_dir() const { return "/data/" + sanitize(desc_.name()) 
 Status Region::load_store_files() {
   MutexLock lock(mutex_);
   files_.clear();
-  // Store files are numbered; open newest-last and order newest-first.
+  // Store files are numbered; open in path order (oldest first) and flip
+  // once at the end — front-inserting each file would be quadratic in the
+  // file count.
   auto paths = dfs_->list(data_dir());
   std::sort(paths.begin(), paths.end());
   std::uint64_t max_id = 0;
   for (const auto& p : paths) {
     auto reader = StoreFileReader::open(*dfs_, p);
     if (!reader.is_ok()) return reader.status();
-    files_.insert(files_.begin(), reader.value());
+    files_.push_back(reader.value());
     // Path suffix is the numeric file id.
     const auto pos = p.rfind("sf-");
     if (pos != std::string::npos) {
       max_id = std::max<std::uint64_t>(max_id, std::strtoull(p.c_str() + pos + 3, nullptr, 10));
     }
   }
+  std::reverse(files_.begin(), files_.end());  // newest first
   next_file_id_ = max_id + 1;
   return Status::ok();
 }
@@ -79,7 +81,16 @@ Result<std::optional<Cell>> Region::get(const std::string& row, const std::strin
     files = files_;  // cheap shared_ptr copies; DFS reads happen unlocked
   }
   for (const auto& f : files) {
-    if (best && f->max_ts() <= best->ts) continue;  // cannot contain a newer version
+    // `<=` is deliberate: a file with max_ts == best->ts cannot hold a
+    // version that beats `best`. A strictly newer version would need
+    // ts > max_ts, which the file cannot contain; and a same-ts version of
+    // the same (row, column) can only be a byte-identical duplicate,
+    // because commit timestamps are unique per transaction and a
+    // transaction writes a cell at most once — duplicates across files
+    // arise only from idempotent replay (see the GetDuplicateCellAcross
+    // Files regression test). Skipping the tie therefore never changes the
+    // result, only saves the block fetch.
+    if (best && f->max_ts() <= best->ts) continue;
     auto from_file = f->get(*cache_, row, column, read_ts);
     if (!from_file.is_ok()) return from_file.status();
     if (from_file.value() && (!best || from_file.value()->ts > best->ts)) {
@@ -92,6 +103,45 @@ Result<std::optional<Cell>> Region::get(const std::string& row, const std::strin
 
 Result<std::vector<Cell>> Region::scan(const std::string& start, const std::string& end,
                                        Timestamp read_ts, std::size_t limit) {
+  if (!read_path_flags().streaming_scan.load(std::memory_order_relaxed)) {
+    return scan_legacy(start, end, read_ts, limit);
+  }
+  // Streaming path: snapshot the memstore's slice and the file list under
+  // the lock, then merge lazily — block fetches happen outside the lock and
+  // stop as soon as `limit` rows are complete.
+  std::vector<Cell> mem;
+  std::vector<std::shared_ptr<StoreFileReader>> files;
+  {
+    MutexLock lock(mutex_);
+    mem = memstore_.range_snapshot(start, end);
+    files = files_;
+  }
+  std::vector<std::unique_ptr<CellIterator>> iters;
+  iters.reserve(files.size() + 1);
+  // Newest source first (memstore, then files newest-first): merge ties on
+  // identical (row, column, ts) resolve deterministically to the newest.
+  iters.push_back(std::make_unique<VectorCellIterator>(std::move(mem)));
+  for (const auto& f : files) {
+    if (!f->range_overlaps(start, end)) {
+      static Counter& range_skips = global_counter("kv.sf_range_skips");
+      range_skips.add();
+      continue;
+    }
+    auto it = f->iterate(*cache_, start, end);
+    if (!it.is_ok()) return it.status();
+    iters.push_back(std::move(it.value()));
+  }
+  MergingCellIterator merged(std::move(iters));
+  std::vector<Cell> out;
+  TFR_RETURN_IF_ERROR(collect_visible(merged, read_ts, limit, &out));
+  return out;
+}
+
+Result<std::vector<Cell>> Region::scan_legacy(const std::string& start, const std::string& end,
+                                              Timestamp read_ts, std::size_t limit) {
+  // Pre-streaming read path, kept for the bench_read A/B flag and as a
+  // cross-check oracle in the read-path property test: materialize every
+  // matching cell from every source, merge in a map, then apply the limit.
   std::vector<Cell> mem;
   std::vector<std::shared_ptr<StoreFileReader>> files;
   {
@@ -99,7 +149,6 @@ Result<std::vector<Cell>> Region::scan(const std::string& start, const std::stri
     mem = memstore_.scan(start, end, read_ts);
     files = files_;
   }
-  // Merge, keeping the newest visible version per (row, column).
   std::map<std::pair<std::string, std::string>, Cell> merged;
   auto absorb = [&](const Cell& c) {
     auto key = std::make_pair(c.row, c.column);
@@ -168,20 +217,11 @@ Status Region::flush_memstore() {
   return Status::ok();
 }
 
-namespace {
-/// Memstore ordering for merged cell sets: (row, column, ts desc).
-struct CellOrder {
-  bool operator()(const Cell& a, const Cell& b) const {
-    if (a.row != b.row) return a.row < b.row;
-    if (a.column != b.column) return a.column < b.column;
-    return a.ts > b.ts;
-  }
-};
-}  // namespace
-
 Status Region::compact(Timestamp prune_before_ts) {
   // Snapshot the immutable inputs, merge outside the lock, then swap in the
-  // result only if no flush changed the file set meanwhile.
+  // result only if no flush changed the file set meanwhile. The merge
+  // streams block-by-block through the shared iterators, so peak memory is
+  // O(block) per input file instead of O(region).
   std::vector<std::shared_ptr<StoreFileReader>> inputs;
   {
     MutexLock lock(mutex_);
@@ -189,38 +229,51 @@ Status Region::compact(Timestamp prune_before_ts) {
     inputs = files_;
   }
 
-  std::set<Cell, CellOrder> merged;
+  std::vector<std::unique_ptr<CellIterator>> iters;
+  iters.reserve(inputs.size());
   for (const auto& f : inputs) {
-    auto cells = f->all_cells(*cache_);
-    if (!cells.is_ok()) return cells.status();
-    for (auto& c : cells.value()) merged.insert(std::move(c));
+    auto it = f->iterate(*cache_, "", "");
+    if (!it.is_ok()) return it.status();
+    iters.push_back(std::move(it.value()));
   }
+  MergingCellIterator merged(std::move(iters));
 
   StoreFileWriter writer(store_block_bytes_);
   std::size_t kept = 0, dropped = 0;
-  auto it = merged.begin();
-  while (it != merged.end()) {
-    const std::string& row = it->row;
-    const std::string& column = it->column;
+  while (merged.valid()) {
+    const std::string row = merged.cell().row;
+    const std::string column = merged.cell().column;
     // Versions of one column arrive newest-first. Keep everything newer
     // than the prune horizon plus the newest survivor at/below it.
+    // Idempotent replay can leave byte-identical cells in several input
+    // files; the merge emits them adjacently and we collapse them here.
     bool survivor_taken = false;
-    for (; it != merged.end() && it->row == row && it->column == column; ++it) {
+    Timestamp prev_ts = 0;
+    bool have_prev = false;
+    while (merged.valid() && merged.cell().row == row && merged.cell().column == column) {
+      const Cell& c = merged.cell();
+      if (have_prev && c.ts == prev_ts) {
+        TFR_RETURN_IF_ERROR(merged.advance());  // duplicate across files
+        continue;
+      }
+      prev_ts = c.ts;
+      have_prev = true;
       bool keep;
-      if (prune_before_ts == kNoTimestamp || it->ts > prune_before_ts) {
+      if (prune_before_ts == kNoTimestamp || c.ts > prune_before_ts) {
         keep = true;
       } else if (!survivor_taken) {
         survivor_taken = true;
-        keep = !it->tombstone;  // a tombstone survivor means: fully deleted
+        keep = !c.tombstone;  // a tombstone survivor means: fully deleted
       } else {
         keep = false;
       }
       if (keep) {
-        writer.add(*it);
+        writer.add(c);
         ++kept;
       } else {
         ++dropped;
       }
+      TFR_RETURN_IF_ERROR(merged.advance());
     }
   }
 
@@ -264,13 +317,27 @@ Result<std::vector<Cell>> Region::dump_cells() {
     files = files_;
     mem = memstore_.snapshot();
   }
-  std::set<Cell, CellOrder> merged(mem.begin(), mem.end());
+  std::vector<std::unique_ptr<CellIterator>> iters;
+  iters.reserve(files.size() + 1);
+  iters.push_back(std::make_unique<VectorCellIterator>(std::move(mem)));
   for (const auto& f : files) {
-    auto cells = f->all_cells(*cache_);
-    if (!cells.is_ok()) return cells.status();
-    for (auto& c : cells.value()) merged.insert(std::move(c));
+    auto it = f->iterate(*cache_, "", "");
+    if (!it.is_ok()) return it.status();
+    iters.push_back(std::move(it.value()));
   }
-  return std::vector<Cell>(merged.begin(), merged.end());
+  MergingCellIterator merged(std::move(iters));
+  // The merge emits duplicates (identical cells replayed into several
+  // sources) adjacently; collapse them as the stream drains.
+  std::vector<Cell> out;
+  while (merged.valid()) {
+    const Cell& c = merged.cell();
+    if (out.empty() || out.back().row != c.row || out.back().column != c.column ||
+        out.back().ts != c.ts) {
+      out.push_back(c);
+    }
+    TFR_RETURN_IF_ERROR(merged.advance());
+  }
+  return out;
 }
 
 std::size_t Region::memstore_bytes() const {

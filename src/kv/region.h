@@ -80,6 +80,9 @@ class Region {
 
   /// Rows in [start, end) visible at read_ts (at most `limit` rows; 0 = no
   /// limit). Returns cells of the visible version per (row, column).
+  /// Streams: memstore + per-file block iterators are heap-merged and the
+  /// scan stops decoding blocks once `limit` rows are complete, so a
+  /// bounded scan over a large region costs O(limit) block fetches.
   Result<std::vector<Cell>> scan(const std::string& start, const std::string& end,
                                  Timestamp read_ts, std::size_t limit);
 
@@ -113,6 +116,12 @@ class Region {
   /// Rename-based fencing for store-file publication: write to a tmp path,
   /// re-check the epoch, then rename into the region's data dir.
   Status finalize_store_file(StoreFileWriter& writer, const std::string& path);
+
+  /// Materialize-then-merge scan (the pre-streaming read path), selected by
+  /// read_path_flags().streaming_scan = false for bench_read A/B runs and
+  /// as a cross-check in the read-path property test.
+  Result<std::vector<Cell>> scan_legacy(const std::string& start, const std::string& end,
+                                        Timestamp read_ts, std::size_t limit);
 
   RegionDescriptor desc_;
   Dfs* dfs_;

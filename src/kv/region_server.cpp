@@ -15,7 +15,7 @@ RegionServer::RegionServer(std::string id, Dfs& dfs, Coord& coord, RegionServerC
       dfs_(&dfs),
       coord_(&coord),
       config_(config),
-      cache_(config.block_cache_bytes),
+      cache_(config.block_cache_bytes, config.block_cache_shards),
       handlers_(config.handler_slots),
       rpc_model_(config.rpc_latency, config.rpc_jitter),
       read_service_(config.read_service, 0),

@@ -3,16 +3,20 @@
 #include <algorithm>
 
 #include "src/common/crc32.h"
+#include "src/common/metrics.h"
 
 namespace tfr {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x7f5bf11e;
-constexpr std::size_t kFooterSize = 8 + 8 + 8 + 4;
+constexpr std::uint32_t kMagicV1 = 0x7f5bf11e;
+constexpr std::uint32_t kMagicV2 = 0x7f5bf22e;
+constexpr std::size_t kFooterSizeV1 = 8 + 8 + 8 + 4;
+constexpr std::size_t kFooterSizeV2 = 8 + 8 + 8 + 8 + 8 + 4 + 4;
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 }  // namespace
 
-StoreFileWriter::StoreFileWriter(std::size_t target_block_bytes)
-    : target_block_bytes_(target_block_bytes) {}
+StoreFileWriter::StoreFileWriter(std::size_t target_block_bytes, int format_version)
+    : target_block_bytes_(target_block_bytes), format_version_(format_version) {}
 
 void StoreFileWriter::add(const Cell& cell) {
   // Rotate only between rows: a (row, column) version chain must never
@@ -21,6 +25,13 @@ void StoreFileWriter::add(const Cell& cell) {
       cell.row != current_last_row_) {
     rotate_block();
   }
+  if (cell_count_ == 0) {
+    file_first_row_ = cell.row;
+  }
+  if (cell_count_ == 0 || cell.row != current_last_row_) {
+    row_hashes_.push_back(bloom_hash(cell.row));  // one hash per distinct row
+  }
+  file_last_row_ = cell.row;
   if (current_cells_ == 0) current_first_row_ = cell.row;
   current_last_row_ = cell.row;
   Encoder enc(&current_block_);
@@ -59,46 +70,137 @@ Status StoreFileWriter::finish(Dfs& dfs, const std::string& path) {
     ienc.put_u64(e.length);
   }
   file_data_ += index_data;
+
+  if (format_version_ == 1) {
+    Encoder fenc(&file_data_);
+    fenc.put_u64(index_offset);
+    fenc.put_u64(index_data.size());
+    fenc.put_i64(max_ts_);
+    fenc.put_u32(kMagicV1);
+    return dfs.write_file(path, file_data_);
+  }
+
+  const std::uint64_t meta_offset = file_data_.size();
+  std::string meta_data;
+  Encoder menc(&meta_data);
+  menc.put_string(file_first_row_);
+  menc.put_string(file_last_row_);
+  const BloomFilter bloom = BloomFilter::build(row_hashes_);
+  menc.put_u32(static_cast<std::uint32_t>(bloom.probes()));
+  menc.put_string(bloom.bits());
+  file_data_ += meta_data;
+
   Encoder fenc(&file_data_);
   fenc.put_u64(index_offset);
   fenc.put_u64(index_data.size());
+  fenc.put_u64(meta_offset);
+  fenc.put_u64(meta_data.size());
   fenc.put_i64(max_ts_);
-  fenc.put_u32(kMagic);
+  fenc.put_u32(static_cast<std::uint32_t>(format_version_));
+  fenc.put_u32(kMagicV2);
   return dfs.write_file(path, file_data_);
 }
 
 Result<std::shared_ptr<StoreFileReader>> StoreFileReader::open(Dfs& dfs, std::string path) {
   auto size = dfs.durable_size(path);
   if (!size.is_ok()) return size.status();
-  if (size.value() < kFooterSize) return Status::corruption("store file too small: " + path);
+  if (size.value() < kFooterSizeV1) return Status::corruption("store file too small: " + path);
 
-  auto footer = dfs.read(path, size.value() - kFooterSize, kFooterSize);
-  if (!footer.is_ok()) return footer.status();
-  Decoder fdec(footer.value());
-  std::uint64_t index_offset = 0, index_length = 0;
-  Timestamp max_ts = 0;
+  // One tail read covers either footer; the magic in the last 4 bytes says
+  // which format we're looking at.
+  const std::uint64_t tail_len = std::min<std::uint64_t>(size.value(), kFooterSizeV2);
+  auto tail = dfs.read(path, size.value() - tail_len, tail_len);
+  if (!tail.is_ok()) return tail.status();
   std::uint32_t magic = 0;
-  TFR_RETURN_IF_ERROR(fdec.get_u64(&index_offset));
-  TFR_RETURN_IF_ERROR(fdec.get_u64(&index_length));
-  TFR_RETURN_IF_ERROR(fdec.get_i64(&max_ts));
-  TFR_RETURN_IF_ERROR(fdec.get_u32(&magic));
-  if (magic != kMagic) return Status::corruption("bad store file magic: " + path);
+  {
+    Decoder mdec(std::string_view(tail.value()).substr(tail.value().size() - 4));
+    TFR_RETURN_IF_ERROR(mdec.get_u32(&magic));
+  }
 
-  auto index_data = dfs.read(path, index_offset, index_length);
+  auto reader = std::shared_ptr<StoreFileReader>(new StoreFileReader(dfs, std::move(path)));
+  std::uint64_t index_offset = 0, index_length = 0;
+  std::uint64_t meta_offset = 0, meta_length = 0;
+
+  if (magic == kMagicV2) {
+    if (tail.value().size() < kFooterSizeV2) {
+      return Status::corruption("v2 store file too small: " + reader->path_);
+    }
+    Decoder fdec(std::string_view(tail.value()).substr(tail.value().size() - kFooterSizeV2));
+    std::uint32_t version = 0;
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&index_offset));
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&index_length));
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&meta_offset));
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&meta_length));
+    TFR_RETURN_IF_ERROR(fdec.get_i64(&reader->max_ts_));
+    TFR_RETURN_IF_ERROR(fdec.get_u32(&version));
+    if (version != 2) {
+      return Status::corruption("unsupported store file version " + std::to_string(version) +
+                                ": " + reader->path_);
+    }
+    reader->format_version_ = 2;
+  } else if (magic == kMagicV1) {
+    Decoder fdec(std::string_view(tail.value()).substr(tail.value().size() - kFooterSizeV1));
+    std::uint32_t v1_magic = 0;
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&index_offset));
+    TFR_RETURN_IF_ERROR(fdec.get_u64(&index_length));
+    TFR_RETURN_IF_ERROR(fdec.get_i64(&reader->max_ts_));
+    TFR_RETURN_IF_ERROR(fdec.get_u32(&v1_magic));
+    reader->format_version_ = 1;
+  } else {
+    return Status::corruption("bad store file magic: " + reader->path_);
+  }
+
+  auto index_data = dfs.read(reader->path_, index_offset, index_length);
   if (!index_data.is_ok()) return index_data.status();
   Decoder idec(index_data.value());
   std::uint32_t n = 0;
   TFR_RETURN_IF_ERROR(idec.get_u32(&n));
-
-  auto reader = std::shared_ptr<StoreFileReader>(new StoreFileReader(dfs, std::move(path)));
-  reader->max_ts_ = max_ts;
   reader->index_.resize(n);
   for (auto& e : reader->index_) {
     TFR_RETURN_IF_ERROR(idec.get_string(&e.first_row));
     TFR_RETURN_IF_ERROR(idec.get_u64(&e.offset));
     TFR_RETURN_IF_ERROR(idec.get_u64(&e.length));
   }
+
+  if (reader->format_version_ == 2) {
+    auto meta_data = dfs.read(reader->path_, meta_offset, meta_length);
+    if (!meta_data.is_ok()) return meta_data.status();
+    Decoder mdec(meta_data.value());
+    std::uint32_t probes = 0;
+    std::string bloom_bits;
+    TFR_RETURN_IF_ERROR(mdec.get_string(&reader->first_row_));
+    TFR_RETURN_IF_ERROR(mdec.get_string(&reader->last_row_));
+    TFR_RETURN_IF_ERROR(mdec.get_u32(&probes));
+    TFR_RETURN_IF_ERROR(mdec.get_string(&bloom_bits));
+    reader->bloom_ = BloomFilter::from_parts(std::move(bloom_bits), static_cast<int>(probes));
+    reader->has_key_range_ = !reader->index_.empty();
+  }
   return reader;
+}
+
+bool StoreFileReader::range_overlaps(const std::string& start, const std::string& end) const {
+  if (!has_key_range_ || !read_path_flags().range_pruning.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (!end.empty() && first_row_ >= end) return false;
+  return last_row_ >= start;
+}
+
+bool StoreFileReader::may_contain_row(const std::string& row) const {
+  const auto& flags = read_path_flags();
+  if (has_key_range_ && flags.range_pruning.load(std::memory_order_relaxed) &&
+      (row < first_row_ || row > last_row_)) {
+    static Counter& range_skips = global_counter("kv.sf_range_skips");
+    range_skips.add();
+    return false;
+  }
+  if (flags.bloom_pruning.load(std::memory_order_relaxed) && !bloom_.empty() &&
+      !bloom_.may_contain(row)) {
+    static Counter& bloom_skips = global_counter("kv.sf_bloom_skips");
+    bloom_skips.add();
+    return false;
+  }
+  return true;
 }
 
 Result<BlockPtr> StoreFileReader::load_block(std::size_t idx) const {
@@ -133,7 +235,7 @@ std::size_t StoreFileReader::block_for(const std::string& row) const {
                              [](const std::string& r, const IndexEntry& e) {
                                return r < e.first_row;
                              });
-  if (it == index_.begin()) return static_cast<std::size_t>(-1);
+  if (it == index_.begin()) return kNpos;
   return static_cast<std::size_t>(std::distance(index_.begin(), it) - 1);
 }
 
@@ -141,8 +243,9 @@ Result<std::optional<Cell>> StoreFileReader::get(BlockCache& cache, const std::s
                                                  const std::string& column,
                                                  Timestamp read_ts) const {
   if (index_.empty()) return std::optional<Cell>{};
+  if (!may_contain_row(row)) return std::optional<Cell>{};  // pruned: no block fetch
   const auto idx = block_for(row);
-  if (idx == static_cast<std::size_t>(-1)) return std::optional<Cell>{};
+  if (idx == kNpos) return std::optional<Cell>{};
   auto block = cached_block(cache, idx);
   if (!block.is_ok()) return block.status();
   const auto& cells = block.value()->cells;
@@ -158,13 +261,98 @@ Result<std::optional<Cell>> StoreFileReader::get(BlockCache& cache, const std::s
   return std::optional<Cell>(*it);
 }
 
+// --- streaming iterator -------------------------------------------------------
+
+/// Block-streaming iterator: holds one decoded block at a time and pulls
+/// the next through the cache only when the current one is exhausted, so a
+/// consumer that stops early never pays for the blocks it didn't reach.
+class StoreFileIterator final : public CellIterator {
+ public:
+  StoreFileIterator(const StoreFileReader* file, BlockCache* cache, std::string end)
+      : file_(file), cache_(cache), end_(std::move(end)) {}
+
+  Status init(const std::string& start) {
+    if (file_->index_.empty()) return Status::ok();
+    std::size_t idx = file_->block_for(start);
+    if (idx == kNpos) idx = 0;  // start precedes the file: begin at block 0
+    block_idx_ = idx;
+    TFR_RETURN_IF_ERROR(load_current());
+    const auto& cells = block_->cells;
+    const auto it = std::lower_bound(cells.begin(), cells.end(), start,
+                                     [](const Cell& c, const std::string& s) {
+                                       return c.row < s;
+                                     });
+    pos_ = static_cast<std::size_t>(std::distance(cells.begin(), it));
+    if (pos_ >= cells.size()) return advance_block();  // start is past this block
+    return check_end();
+  }
+
+  bool valid() const override { return valid_; }
+  const Cell& cell() const override { return block_->cells[pos_]; }
+
+  Status advance() override {
+    ++pos_;
+    if (pos_ >= block_->cells.size()) return advance_block();
+    return check_end();
+  }
+
+ private:
+  Status advance_block() {
+    ++block_idx_;
+    if (block_idx_ >= file_->index_.size()) {
+      valid_ = false;
+      return Status::ok();
+    }
+    // A block whose first_row is already past `end` cannot contribute
+    // (cells are sorted); stop without decoding it.
+    if (!end_.empty() && file_->index_[block_idx_].first_row >= end_) {
+      valid_ = false;
+      return Status::ok();
+    }
+    TFR_RETURN_IF_ERROR(load_current());
+    pos_ = 0;
+    return check_end();
+  }
+
+  Status check_end() {
+    valid_ = end_.empty() || block_->cells[pos_].row < end_;
+    return Status::ok();
+  }
+
+  Status load_current() {
+    auto block = file_->cached_block(*cache_, block_idx_);
+    if (!block.is_ok()) {
+      valid_ = false;
+      return block.status();
+    }
+    block_ = block.value();
+    return Status::ok();
+  }
+
+  const StoreFileReader* file_;
+  BlockCache* cache_;
+  std::string end_;
+  std::size_t block_idx_ = 0;
+  BlockPtr block_;
+  std::size_t pos_ = 0;
+  bool valid_ = false;
+};
+
+Result<std::unique_ptr<CellIterator>> StoreFileReader::iterate(BlockCache& cache,
+                                                               const std::string& start,
+                                                               const std::string& end) const {
+  auto it = std::make_unique<StoreFileIterator>(this, &cache, end);
+  TFR_RETURN_IF_ERROR(it->init(start));
+  return std::unique_ptr<CellIterator>(std::move(it));
+}
+
 Result<std::vector<Cell>> StoreFileReader::scan(BlockCache& cache, const std::string& start,
                                                 const std::string& end,
                                                 Timestamp read_ts) const {
   std::vector<Cell> out;
   if (index_.empty()) return out;
   std::size_t idx = block_for(start);
-  if (idx == static_cast<std::size_t>(-1)) idx = 0;
+  if (idx == kNpos) idx = 0;
   for (; idx < index_.size(); ++idx) {
     if (!end.empty() && index_[idx].first_row >= end) break;
     auto block = cached_block(cache, idx);

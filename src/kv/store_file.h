@@ -3,11 +3,26 @@
 // first, then store files newest-first, fetching blocks through the
 // BlockCache.
 //
-// On-disk layout:
-//   [block 0][block 1]...[block n-1][index][footer]
-//   block : u32 cell_count, cells (sorted by row, column, ts desc)
+// On-disk layout (format v2):
+//   [block 0][block 1]...[block n-1][index][meta][footer]
+//   block : u32 cell_count, u32 crc, cells (sorted by row, column, ts desc)
 //   index : u32 entry_count, entries { string first_row, u64 off, u64 len }
-//   footer: u64 index_offset, u64 index_length, i64 max_ts, u32 magic
+//   meta  : string first_row, string last_row,      -- file-wide key range
+//           u32 bloom_probes, string bloom_bits     -- row bloom filter
+//   footer: u64 index_offset, u64 index_length,
+//           u64 meta_offset, u64 meta_length, i64 max_ts,
+//           u32 version, u32 magic_v2
+//
+// Format v1 (files written before the bloom/key-range fields existed) has
+// no meta section and a footer of { index_offset, index_length, max_ts,
+// magic }; the reader distinguishes the two by magic and reads v1 files
+// with pruning disabled. The writer can still emit v1 (format_version
+// argument) so compatibility stays testable.
+//
+// The meta fields are what make the read path prune: a point get consults
+// a file only if the row is inside [first_row, last_row] AND the bloom
+// filter admits it (kv.sf_range_skips / kv.sf_bloom_skips count the files
+// never touched); a scan skips files whose key range misses [start, end).
 #pragma once
 
 #include <memory>
@@ -17,15 +32,23 @@
 
 #include "src/dfs/dfs.h"
 #include "src/kv/block_cache.h"
+#include "src/kv/bloom.h"
+#include "src/kv/cell_iter.h"
 #include "src/kv/types.h"
 
 namespace tfr {
+
+/// Current on-disk format written by StoreFileWriter.
+constexpr int kStoreFileFormatLatest = 2;
 
 /// Builds one store file from cells supplied in sorted order.
 class StoreFileWriter {
  public:
   /// `target_block_bytes`: flush a block once it reaches this size.
-  explicit StoreFileWriter(std::size_t target_block_bytes = 16 * 1024);
+  /// `format_version`: 2 (default) writes the bloom/key-range meta section;
+  /// 1 reproduces the legacy footer for compatibility tests.
+  explicit StoreFileWriter(std::size_t target_block_bytes = 16 * 1024,
+                           int format_version = kStoreFileFormatLatest);
 
   /// Cells must arrive in (row, column, ts desc) order — exactly the order
   /// Memstore::snapshot() produces. Blocks rotate only at row boundaries so
@@ -42,6 +65,7 @@ class StoreFileWriter {
   void rotate_block();
 
   std::size_t target_block_bytes_;
+  int format_version_;
   std::string file_data_;
   std::string current_block_;
   std::string current_first_row_;
@@ -49,6 +73,9 @@ class StoreFileWriter {
   std::uint32_t current_cells_ = 0;
   std::size_t cell_count_ = 0;
   Timestamp max_ts_ = kNoTimestamp;
+  std::string file_first_row_;
+  std::string file_last_row_;
+  std::vector<std::uint64_t> row_hashes_;  // one per distinct row, for the bloom
 
   struct IndexEntry {
     std::string first_row;
@@ -58,31 +85,57 @@ class StoreFileWriter {
   std::vector<IndexEntry> index_;
 };
 
-/// Read side. Opening reads the footer and index (two DFS reads); block
-/// fetches go through the shared BlockCache.
+/// Read side. Opening reads the footer+meta and index (two DFS reads);
+/// block fetches go through the shared BlockCache.
 class StoreFileReader {
  public:
   static Result<std::shared_ptr<StoreFileReader>> open(Dfs& dfs, std::string path);
 
   /// Newest version of (row, column) with ts <= read_ts in this file.
+  /// Returns without any block fetch when the bloom filter or key range
+  /// proves the row absent.
   Result<std::optional<Cell>> get(BlockCache& cache, const std::string& row,
                                   const std::string& column, Timestamp read_ts) const;
 
   /// All cells with row in [start, end) visible at read_ts (newest version
   /// per row/column within this file; merging across files is the caller's
-  /// job).
+  /// job). Legacy materializing path — Region::scan streams via iterate()
+  /// instead; kept for the A/B flag and per-file tests.
   Result<std::vector<Cell>> scan(BlockCache& cache, const std::string& start,
                                  const std::string& end, Timestamp read_ts) const;
 
+  /// Streaming iterator over every version with row in [start, end), in
+  /// (row, column, ts desc) order, loading blocks lazily through `cache` as
+  /// it advances. The reader (and cache) must outlive the iterator — the
+  /// Region keeps its shared_ptr alive for the duration of the read.
+  Result<std::unique_ptr<CellIterator>> iterate(BlockCache& cache, const std::string& start,
+                                                const std::string& end) const;
+
   /// Every cell in the file, all versions, in (row, column, ts desc) order.
-  /// Used by compaction and region splits.
   Result<std::vector<Cell>> all_cells(BlockCache& cache) const;
 
   const std::string& path() const { return path_; }
   Timestamp max_ts() const { return max_ts_; }
   std::size_t block_count() const { return index_.size(); }
+  int format_version() const { return format_version_; }
+
+  /// File-wide key range [first_row, last_row]; meaningful only when
+  /// has_key_range() (v2 files with at least one cell).
+  bool has_key_range() const { return has_key_range_; }
+  const std::string& first_row() const { return first_row_; }
+  const std::string& last_row() const { return last_row_; }
+
+  /// True unless the key range proves [start, end) cannot intersect this
+  /// file. v1 files always overlap (no range to prune on).
+  bool range_overlaps(const std::string& start, const std::string& end) const;
+
+  /// Bloom + key-range verdict for a point row (no I/O). False means the
+  /// row is definitely absent.
+  bool may_contain_row(const std::string& row) const;
 
  private:
+  friend class StoreFileIterator;
+
   StoreFileReader(Dfs& dfs, std::string path) : dfs_(&dfs), path_(std::move(path)) {}
 
   Result<BlockPtr> load_block(std::size_t idx) const;
@@ -95,6 +148,11 @@ class StoreFileReader {
   Dfs* dfs_;
   std::string path_;
   Timestamp max_ts_ = kNoTimestamp;
+  int format_version_ = 1;
+  bool has_key_range_ = false;
+  std::string first_row_;
+  std::string last_row_;
+  BloomFilter bloom_;
 
   struct IndexEntry {
     std::string first_row;

@@ -54,6 +54,10 @@ TEST_P(ChaosSoakTest, CommittedTransactionsSurviveGrayFailuresAndCrashes) {
 
   TestbedConfig cfg = fast_test_config(3, kWriterThreads);
   cfg.client.flusher_threads = 2;
+  // Tiny memstores: writes spill to store files mid-schedule, so the
+  // durability/atomicity reads below go through the bloom-pruned store-file
+  // path and the sharded block cache while faults are still being injected.
+  cfg.cluster.server.memstore_flush_bytes = 512;
   Testbed bed(cfg);
   ASSERT_TRUE(bed.start().is_ok());
   ASSERT_TRUE(bed.create_table("t", kRows, 6).is_ok());
@@ -225,6 +229,22 @@ TEST_P(ChaosSoakTest, CommittedTransactionsSurviveGrayFailuresAndCrashes) {
   }
   r.abort();
   EXPECT_GT(checked, 0u);
+
+  // Read-path health: the durability/atomicity sweep above read through the
+  // store-file path (tiny memstores force mid-schedule flushes) and the
+  // sharded block cache; print the cache's hit rate over the whole run.
+  {
+    std::int64_t hits = 0, misses = 0;
+    for (const auto& [name, value] : global_counter_snapshot()) {
+      if (name == "kv.cache.hits") hits = value;
+      if (name == "kv.cache.misses") misses = value;
+    }
+    const std::int64_t lookups = hits + misses;
+    std::printf("[ chaos    ] block cache: %lld hits / %lld lookups (%.1f%% hit rate)\n",
+                static_cast<long long>(hits), static_cast<long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(hits) / static_cast<double>(lookups)
+                            : 0.0);
+  }
 
   // The schedule must actually have exercised the fault paths. Every
   // committed write-set flushed under the RPC rule, so at least one of the

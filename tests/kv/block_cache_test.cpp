@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+
+#include "src/common/clock.h"
 
 namespace tfr {
 namespace {
@@ -13,8 +16,11 @@ BlockPtr block_of(std::size_t bytes) {
   return b;
 }
 
+// LRU-semantics tests pin num_shards=1: with striping, eviction order is a
+// per-stripe property and tiny test capacities would be split 16 ways.
+
 TEST(BlockCacheTest, MissLoadsThenHits) {
-  BlockCache cache(1024);
+  BlockCache cache(1024, /*num_shards=*/1);
   int loads = 0;
   auto loader = [&]() -> Result<BlockPtr> {
     ++loads;
@@ -28,7 +34,7 @@ TEST(BlockCacheTest, MissLoadsThenHits) {
 }
 
 TEST(BlockCacheTest, LoaderErrorPropagates) {
-  BlockCache cache(1024);
+  BlockCache cache(1024, 1);
   auto result = cache.get_or_load("k", []() -> Result<BlockPtr> {
     return Status::unavailable("dfs down");
   });
@@ -38,7 +44,7 @@ TEST(BlockCacheTest, LoaderErrorPropagates) {
 }
 
 TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
-  BlockCache cache(250);
+  BlockCache cache(250, 1);
   auto load100 = [] { return Result<BlockPtr>(block_of(100)); };
   ASSERT_TRUE(cache.get_or_load("a", load100).is_ok());
   ASSERT_TRUE(cache.get_or_load("b", load100).is_ok());
@@ -54,14 +60,14 @@ TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST(BlockCacheTest, BytesTracked) {
-  BlockCache cache(10000);
+  BlockCache cache(10000, 1);
   ASSERT_TRUE(cache.get_or_load("a", [] { return Result<BlockPtr>(block_of(123)); }).is_ok());
   ASSERT_TRUE(cache.get_or_load("b", [] { return Result<BlockPtr>(block_of(77)); }).is_ok());
   EXPECT_EQ(cache.stats().bytes, 200);
 }
 
 TEST(BlockCacheTest, InvalidatePrefix) {
-  BlockCache cache(10000);
+  BlockCache cache(10000);  // default sharding: invalidation spans stripes
   auto load = [] { return Result<BlockPtr>(block_of(10)); };
   ASSERT_TRUE(cache.get_or_load("/sf1#0", load).is_ok());
   ASSERT_TRUE(cache.get_or_load("/sf1#1", load).is_ok());
@@ -83,6 +89,13 @@ TEST(BlockCacheTest, ClearEmptiesEverything) {
   EXPECT_EQ(cache.stats().bytes, 0);
 }
 
+TEST(BlockCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BlockCache(1 << 20).shard_count(), 16u);  // default
+  EXPECT_EQ(BlockCache(1 << 20, 1).shard_count(), 1u);
+  EXPECT_EQ(BlockCache(1 << 20, 5).shard_count(), 8u);
+  EXPECT_EQ(BlockCache(1 << 20, 64).shard_count(), 64u);
+}
+
 TEST(BlockCacheTest, ConcurrentAccessIsSafe) {
   BlockCache cache(1 << 16);
   std::vector<std::thread> threads;
@@ -101,10 +114,81 @@ TEST(BlockCacheTest, ConcurrentAccessIsSafe) {
 }
 
 TEST(BlockCacheTest, OversizedBlockDoesNotWedgeCache) {
-  BlockCache cache(100);
+  BlockCache cache(100, 1);
   ASSERT_TRUE(cache.get_or_load("big", [] { return Result<BlockPtr>(block_of(1000)); }).is_ok());
   // Eviction brings usage back under capacity (the big block itself goes).
   EXPECT_LE(cache.stats().bytes, 100);
+}
+
+// --- single-flight miss loading ------------------------------------------------
+
+TEST(BlockCacheTest, ConcurrentMissesOnOneKeyLoadOnce) {
+  BlockCache cache(1 << 20);
+  constexpr int kThreads = 8;
+  std::atomic<int> loads{0};
+  std::atomic<int> in_loader{0};
+  auto slow_loader = [&]() -> Result<BlockPtr> {
+    in_loader.fetch_add(1);
+    loads.fetch_add(1);
+    sleep_micros(millis(30));  // hold the load open so every thread misses
+    in_loader.fetch_sub(1);
+    return block_of(64);
+  };
+  std::vector<std::thread> threads;
+  std::vector<BlockPtr> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto r = cache.get_or_load("hot", slow_loader);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(in_loader.load(), 0);  // no loader still running once we have a block
+      results[t] = r.value();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1);  // exactly one loader despite K concurrent misses
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);  // shared result
+  EXPECT_GE(cache.stats().single_flight_waits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);  // waiters hit after the wait, only the loader missed
+}
+
+TEST(BlockCacheTest, FailedLoadHandsOffToNextWaiter) {
+  BlockCache cache(1 << 20);
+  std::atomic<int> attempts{0};
+  auto flaky_loader = [&]() -> Result<BlockPtr> {
+    sleep_micros(millis(10));
+    if (attempts.fetch_add(1) == 0) return Status::unavailable("first load fails");
+    return block_of(64);
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, failed{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto r = cache.get_or_load("k", flaky_loader);
+      (r.is_ok() ? ok : failed).fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The first loader's failure reaches only its own caller; a waiter takes
+  // over as the new loader and everyone else shares its success.
+  EXPECT_EQ(failed.load(), 1);
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(attempts.load(), 2);
+}
+
+TEST(BlockCacheTest, SingleFlightAcrossDistinctKeysStaysParallel) {
+  // Loads of different keys must not wait on each other: total wall time for
+  // two overlapping 30ms loads on different keys stays well under 60ms.
+  BlockCache cache(1 << 20);
+  auto slow = [] {
+    sleep_micros(millis(30));
+    return Result<BlockPtr>(block_of(64));
+  };
+  const Micros t0 = now_micros();
+  std::thread a([&] { ASSERT_TRUE(cache.get_or_load("a", slow).is_ok()); });
+  std::thread b([&] { ASSERT_TRUE(cache.get_or_load("b", slow).is_ok()); });
+  a.join();
+  b.join();
+  EXPECT_LT(now_micros() - t0, millis(55));
 }
 
 }  // namespace
