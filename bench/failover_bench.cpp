@@ -11,6 +11,10 @@
 // crash-to-restore (first acked write under the new epoch), plus the
 // longest single probe stall. Emits BENCH_failover.json alongside the
 // human-readable report so the perf trajectory can be tracked run to run.
+//
+// bench_recovery.cpp extends this measurement into the full recovery-time
+// vs retained-log-size curve (preload sweep, detect/split/replay phase
+// breakdown, bounded vs unbounded log) — see BENCH_recovery.json.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>

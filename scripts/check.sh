@@ -7,6 +7,7 @@
 #   scripts/check.sh analyze             # clang -Werror=thread-safety build
 #   scripts/check.sh lint                # scripts/lint.sh (clang-tidy + greps)
 #   scripts/check.sh soak-partition      # 10-seed zombie-server partition soak
+#   scripts/check.sh soak-recovery       # 20-seed cascading-failure soak
 #   scripts/check.sh bench-smoke         # ~5 s bench_commit A/B smoke run
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
@@ -75,6 +76,28 @@ case "$MODE" in
     echo "soak-partition OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
     exit 0
     ;;
+  soak-recovery)
+    # The bounded-recovery acceptance soak: cascading failures (a second
+    # server crashing while the first recovery is still replaying) across
+    # many seeds (TFR_CASCADE_SEEDS, default 20; ctest runs only a few).
+    # With TFR_CXX pointing at clang, the soak runs under TSan so the
+    # concurrent failure handlers and segment GC get raced as well as
+    # asserted.
+    SEEDS="${TFR_CASCADE_SEEDS:-20}"
+    if compiler_is_clang; then
+      BUILD_DIR="build-tsan-$(basename "$CXX" | tr -d +)"
+      cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER="$CXX" \
+        -DCMAKE_BUILD_TYPE=Debug -DTFR_SANITIZE=thread
+    else
+      BUILD_DIR=build
+      cmake -B "$BUILD_DIR" -S .
+    fi
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target integration_tests
+    TFR_CASCADE_SEEDS="$SEEDS" "$BUILD_DIR/tests/integration_tests" \
+      --gtest_filter='Seeds/CascadeSoakTest.*'
+    echo "soak-recovery OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
+    exit 0
+    ;;
   bench-smoke)
     # Quick end-to-end exercise of the A/B hot-path benches: a few seconds
     # each at a tiny TFR_BENCH_SCALE, checking only that all modes run and
@@ -99,7 +122,7 @@ case "$MODE" in
     ;;
   test) ;;
   *)
-    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, bench-smoke, or no argument)" >&2
+    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, soak-recovery, bench-smoke, or no argument)" >&2
     exit 2
     ;;
 esac

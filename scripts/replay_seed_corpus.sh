@@ -25,8 +25,9 @@ while read -r kind seed _; do
     "" | \#*) continue ;;
     chaos) filter='Seeds/ChaosSoakTest.CommittedTransactionsSurviveGrayFailuresAndCrashes/0' ;;
     zombie) filter='Seeds/ZombiePartitionTest.FencedTakeoverLeavesNoStaleWritesVisible/0' ;;
+    cascade) filter='Seeds/CascadeSoakTest.SecondFailureDuringRecoveryNeverLosesGcdWriteSets/0' ;;
     *)
-      echo "replay_seed_corpus: unknown kind '$kind' in $CORPUS (use chaos|zombie)" >&2
+      echo "replay_seed_corpus: unknown kind '$kind' in $CORPUS (use chaos|zombie|cascade)" >&2
       exit 2
       ;;
   esac

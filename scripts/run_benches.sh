@@ -60,6 +60,16 @@ for b in "${benches[@]}"; do
   echo | tee -a "$OUT"
 done
 
+# Results the suite is REQUIRED to produce: a bench that silently stopped
+# writing its JSON would otherwise just thin out the history. Must have been
+# refreshed by this run, not left over from an old one.
+for required in BENCH_recovery.json BENCH_failover.json; do
+  if [ ! -f "$required" ] || [ ! "$required" -nt "$STAMP" ]; then
+    echo "run_benches: required result '$required' was not produced by this run" >&2
+    exit 1
+  fi
+done
+
 appended=0
 for f in BENCH_*.json; do
   [ -f "$f" ] || continue

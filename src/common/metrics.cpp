@@ -31,6 +31,16 @@ HistogramRegistry& histogram_registry() {
   static HistogramRegistry* r = new HistogramRegistry();  // leaked: outlives all users
   return *r;
 }
+
+struct GaugeRegistry {
+  Mutex mutex{LockRank::kMetrics, "gauge_registry"};
+  std::map<std::string, std::unique_ptr<Gauge>> gauges TFR_GUARDED_BY(mutex);
+};
+
+GaugeRegistry& gauge_registry() {
+  static GaugeRegistry* r = new GaugeRegistry();  // leaked: outlives all users
+  return *r;
+}
 }  // namespace
 
 std::size_t Counter::thread_stripe() {
@@ -86,6 +96,29 @@ void reset_global_histograms() {
   HistogramRegistry& r = histogram_registry();
   MutexLock lock(r.mutex);
   for (auto& [name, h] : r.histograms) h->reset();
+}
+
+Gauge& global_gauge(const std::string& name) {
+  GaugeRegistry& r = gauge_registry();
+  MutexLock lock(r.mutex);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> global_gauge_snapshot() {
+  GaugeRegistry& r = gauge_registry();
+  MutexLock lock(r.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.emplace_back(name, g->get());
+  return out;
+}
+
+void reset_global_gauges() {
+  GaugeRegistry& r = gauge_registry();
+  MutexLock lock(r.mutex);
+  for (auto& [name, g] : r.gauges) g->set(0);
 }
 
 Histogram::Histogram() {

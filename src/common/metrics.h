@@ -126,6 +126,20 @@ class Counter {
   Stripe stripes_[kStripes];
 };
 
+/// Last-value gauge for level metrics that move in both directions (segment
+/// counts, retained log records) and therefore cannot be a Counter. Writers
+/// publish with set()/add(); readers sample with get(). All operations are
+/// single relaxed atomics — cheap enough for per-GC-pass updates.
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 // --- process-wide counter registry -------------------------------------------
 //
 // Fault injection and the client retry paths export their counts here so
@@ -156,5 +170,17 @@ std::vector<std::pair<std::string, const Histogram*>> global_histogram_snapshot(
 
 /// Reset every registered histogram (tests/benches isolate with this).
 void reset_global_histograms();
+
+/// The gauge registered under `name`, created on first use. Same
+/// stable-address contract as global_counter(). Used for level metrics the
+/// log GC exports (`log.segments`, `log.retained_txns`) and the master's
+/// last-recovery phase timings.
+Gauge& global_gauge(const std::string& name);
+
+/// (name, value) for every registered gauge, sorted by name.
+std::vector<std::pair<std::string, std::int64_t>> global_gauge_snapshot();
+
+/// Zero every registered gauge (tests isolate themselves with this).
+void reset_global_gauges();
 
 }  // namespace tfr

@@ -200,8 +200,23 @@ bool Dfs::is_fenced(const std::string& path) const {
 
 Status Dfs::remove(const std::string& path) {
   MutexLock lock(mutex_);
+  // Deletion is a write: a fenced (dead-to-the-master) writer must not be
+  // able to reclaim its own WAL segments while the master is splitting
+  // them. The master uses purge_prefix() once recovery is complete.
+  if (fenced_locked(path)) return Status::wrong_epoch("dfs remove under fence: " + path);
   if (files_.erase(path) == 0) return Status::not_found("dfs remove: " + path);
   return Status::ok();
+}
+
+std::size_t Dfs::purge_prefix(const std::string& prefix) {
+  MutexLock lock(mutex_);
+  std::size_t removed = 0;
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = files_.erase(it);
+    ++removed;
+  }
+  return removed;
 }
 
 std::vector<std::string> Dfs::list(const std::string& prefix) const {

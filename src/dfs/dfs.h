@@ -97,7 +97,19 @@ class Dfs {
 
   Result<std::uint64_t> durable_size(const std::string& path) const;
   bool exists(const std::string& path) const;
+
+  /// Delete one file. Rejected with WrongEpoch under a fenced prefix —
+  /// deletion is a write, and a fenced zombie reclaiming its "flushed" WAL
+  /// segments could race the master's split read of them.
   Status remove(const std::string& path);
+
+  /// Authoritative deletion of everything under `prefix`, fence or no fence.
+  /// Only the master calls this, after a dead server's WAL has been split
+  /// and every affected region reopened elsewhere — the point where the old
+  /// segments carry no edit that is not re-logged in a live server's WAL.
+  /// Returns the number of files removed.
+  std::size_t purge_prefix(const std::string& prefix);
+
   std::vector<std::string> list(const std::string& prefix) const;
 
   /// Fault injection for integrity tests: flip one bit of the durable data

@@ -1,12 +1,20 @@
 #include "src/kv/master.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "src/common/backoff.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 
 namespace tfr {
+
+namespace {
+// Concurrent region recoveries per failed server: enough to overlap several
+// open_region replays without flooding a small cluster's handler pools.
+constexpr std::size_t kRecoveryWorkers = 4;
+}  // namespace
 
 Master::Master(Dfs& dfs, Coord& coord) : dfs_(&dfs), coord_(&coord) {}
 
@@ -282,14 +290,24 @@ void Master::on_session_event(const SessionInfo& info, bool expired) {
 }
 
 void Master::recovery_worker() {
+  // One handler thread per failure: cascading failures must overlap. A
+  // second server dying while the first recovery is still replaying would
+  // otherwise deadlock the cluster — the first handler can be blocked in a
+  // replay gate writing to a region it just placed on the second (now dead)
+  // server, and that region is only re-homed by the second failure's
+  // handling, which a serial queue would park behind the first.
+  std::vector<std::thread> handlers;
   while (auto item = failures_.pop()) {
-    handle_server_down(item->first, item->second);
-    {
-      MutexLock lock(mutex_);
-      --in_flight_recoveries_;
-    }
-    idle_cv_.notify_all();
+    handlers.emplace_back([this, failed = *item] {
+      handle_server_down(failed.first, failed.second);
+      {
+        MutexLock lock(mutex_);
+        --in_flight_recoveries_;
+      }
+      idle_cv_.notify_all();
+    });
   }
+  for (auto& t : handlers) t.join();
 }
 
 void Master::wait_for_idle() const {
@@ -355,10 +373,14 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
   }
 
   // HBase log splitting: group the failed server's durable WAL records by
-  // region (§2.1). Clean shutdowns flushed their memstores, so their edits
+  // region (§2.1), fanning out per source segment across Wal::split's
+  // worker pool. Clean shutdowns flushed their memstores, so their edits
   // are redundant — replaying them anyway is idempotent and exercises the
-  // same path. A split failure here would silently drop *durable* edits, so
-  // retry through transient DFS errors before giving up.
+  // same path. The split is all-or-nothing: a worker that exhausts its
+  // per-segment retries fails the whole split, and this outer loop retries
+  // it from scratch — assigning regions from a partial edit map would
+  // silently drop *durable* edits.
+  const Micros split_start = now_micros();
   std::map<std::string, std::vector<WalRecord>> edits;
   if (!wal_path.empty()) {
     Backoff backoff(millis(1), millis(64));
@@ -389,48 +411,126 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
       backoff.sleep();
     }
   }
+  global_gauge("master.last_split_us").set(now_micros() - split_start);
 
-  // Reassign and recover each affected region one-by-one (Algorithm 4).
-  std::size_t salt = std::hash<std::string>{}(server_id);
-  for (const auto& loc : affected) {
+  // Reassign and recover the affected regions concurrently (Algorithm 4).
+  // Region recoveries are independent: each open_region replays its own WAL
+  // edits and fires its own replay gate, and the recovery middleware's
+  // per-region state tolerates concurrent gates. Workers claim regions off
+  // a shared cursor so one slow open does not serialize the rest.
+  const Micros replay_start = now_micros();
+  const std::size_t salt_base = std::hash<std::string>{}(server_id);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> salt_counter{0};
+  std::atomic<bool> all_recovered{true};
+  auto recover_regions = [&] {
     for (;;) {
-      std::string target;
-      RegionServer* stub = nullptr;
-      {
-        MutexLock lock(mutex_);
-        target = pick_live_server_locked(salt++);
-        if (!target.empty()) stub = servers_.at(target);
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= affected.size()) return;
+      const RegionLocation& loc = affected[i];
+      for (;;) {
+        std::string target;
+        RegionServer* stub = nullptr;
+        bool superseded = false;
+        const std::size_t salt =
+            salt_base + salt_counter.fetch_add(1, std::memory_order_relaxed);
+        {
+          MutexLock lock(mutex_);
+          // Cascade check: if a later failure re-fenced the region (its new
+          // owner died too before we placed it, or while our gate replay was
+          // in flight), that failure's handler owns the reassignment now.
+          // Publishing our stale epoch here would fence every write at the
+          // owner it picked.
+          auto ait = assignment_.find(loc.region_name);
+          if (ait == assignment_.end() || ait->second.epoch > loc.epoch) {
+            superseded = true;
+          } else {
+            target = pick_live_server_locked(salt);
+            if (!target.empty()) {
+              stub = servers_.at(target);
+              // Publish the new location in the same critical section as the
+              // epoch check: clients retrying against the dead server
+              // re-locate here and keep retrying until the region is online.
+              assignment_[loc.region_name] =
+                  RegionLocation{loc.region_name, loc.descriptor, target, loc.epoch};
+            }
+          }
+        }
+        if (superseded) {
+          TFR_LOG(INFO, "master") << loc.region_name
+                                  << " re-fenced by a later failure; leaving it to "
+                                     "that recovery";
+          // We can no longer vouch that this region's durable edits were
+          // replayed into a live owner's WAL, so keep the dead server's
+          // segments (skip the purge below). The transactional replay is
+          // still covered: the region's pending entry pins the TM-log floor
+          // at the inherited min TPr until its gate finally runs.
+          all_recovered.store(false, std::memory_order_relaxed);
+          break;
+        }
+        if (!stub) {
+          TFR_LOG(ERROR, "master") << "no live server to host " << loc.region_name
+                                   << "; operator intervention required";
+          all_recovered.store(false, std::memory_order_relaxed);
+          break;
+        }
+        auto it = edits.find(loc.region_name);
+        const auto& region_edits =
+            it == edits.end() ? std::vector<WalRecord>{} : it->second;
+        Status s = stub->open_region(loc.descriptor, region_edits, loc.epoch);
+        if (s.is_ok()) {
+          TFR_LOG(INFO, "master") << loc.region_name << " reassigned " << server_id << " -> "
+                                  << target;
+          break;
+        }
+        TFR_LOG(WARN, "master") << "open_region " << loc.region_name << " on " << target
+                                << " failed: " << s << "; retrying elsewhere";
+        bool report_dead = false;
+        {
+          MutexLock lock(mutex_);
+          // Treat the uncooperative target as suspect only if it is dead;
+          // otherwise (e.g. already-open race) move on. Marking it dead is
+          // not enough: the flag must come with a failure report, because
+          // on_session_event coalesces on the flag — if we flip it silently
+          // here, the coord expiry that arrives moments later is dropped as
+          // "already handled" and the server's own regions are never
+          // recovered (the cascade wedge). Whichever of this path and the
+          // expiry flips the flag first enqueues the handling; the other
+          // coalesces, and downs_handled_ absorbs duplicates beyond that.
+          if (!stub->alive() && server_alive_[target]) {
+            server_alive_[target] = false;
+            ++in_flight_recoveries_;
+            report_dead = true;
+          }
+        }
+        if (report_dead) failures_.push({target, true});
+        sleep_millis(1);
       }
-      if (!stub) {
-        TFR_LOG(ERROR, "master") << "no live server to host " << loc.region_name
-                                 << "; operator intervention required";
-        break;
-      }
-      {
-        // Publish the new location first: clients retrying against the dead
-        // server re-locate here and keep retrying until the region is online.
-        MutexLock lock(mutex_);
-        assignment_[loc.region_name] =
-            RegionLocation{loc.region_name, loc.descriptor, target, loc.epoch};
-      }
-      auto it = edits.find(loc.region_name);
-      const auto& region_edits =
-          it == edits.end() ? std::vector<WalRecord>{} : it->second;
-      Status s = stub->open_region(loc.descriptor, region_edits, loc.epoch);
-      if (s.is_ok()) {
-        TFR_LOG(INFO, "master") << loc.region_name << " reassigned " << server_id << " -> "
-                                << target;
-        break;
-      }
-      TFR_LOG(WARN, "master") << "open_region " << loc.region_name << " on " << target
-                              << " failed: " << s << "; retrying elsewhere";
-      {
-        MutexLock lock(mutex_);
-        // Treat the uncooperative target as suspect only if it is dead;
-        // otherwise (e.g. already-open race) move on.
-        if (!stub->alive()) server_alive_[target] = false;
-      }
-      sleep_millis(1);
+    }
+  };
+  const std::size_t workers = std::min<std::size_t>(kRecoveryWorkers, affected.size());
+  if (workers <= 1) {
+    recover_regions();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(recover_regions);
+    for (auto& t : pool) t.join();
+  }
+  global_gauge("master.last_replay_us").set(now_micros() - replay_start);
+
+  // The old WAL is dead once every affected region is open elsewhere: the
+  // split replayed its durable records into the new owners' memstores and
+  // WALs, and the fence stops the old incarnation from writing more. Purge
+  // it so a dead server's WAL does not pin DFS space forever — the
+  // recycling counterpart of truncate_obsolete for servers that never come
+  // back. Skipped if any region could not be placed: the next operator
+  // action may need the segments.
+  if (!wal_path.empty() && all_recovered.load(std::memory_order_relaxed)) {
+    const std::size_t purged = dfs_->purge_prefix(wal_path + ".");
+    if (purged > 0) {
+      global_counter("master.wal_purged_segments").add(static_cast<std::int64_t>(purged));
+      TFR_LOG(INFO, "master") << "purged " << purged << " WAL segments of " << server_id;
     }
   }
 }

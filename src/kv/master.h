@@ -11,8 +11,12 @@
 //      receiving server replays them, then runs the region gate (recovery
 //      manager replay) before declaring the region online.
 //
-// Regions are recovered one-by-one, as in Algorithm 4; recovery does not
-// interrupt processing on the surviving servers.
+// Regions are recovered independently (Algorithm 4's loop, fanned out over
+// a small worker pool), and distinct server failures are handled on their
+// own handler threads so a cascade — a second server dying while the first
+// recovery is still replaying — cannot park behind the first failure's
+// in-flight gate. Recovery does not interrupt processing on the surviving
+// servers.
 #pragma once
 
 #include <functional>

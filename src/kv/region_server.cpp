@@ -351,6 +351,11 @@ Status RegionServer::apply_decoded(const ApplyRequest& req) {
         Status compacted = region->compact(kNoTimestamp);
         if (!compacted.is_ok() && !compacted.is_unavailable()) return compacted;
       }
+      // The finalized store file supersedes every WAL entry at or below the
+      // flushed seqno for this region: reclaim closed segments now instead
+      // of waiting for the next heartbeat tick, so a long-lived server's
+      // split cost tracks its un-flushed window, not its lifetime.
+      maybe_roll_wal();
     }
   }
 

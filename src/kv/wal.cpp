@@ -1,7 +1,10 @@
 #include "src/kv/wal.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
+#include "src/common/backoff.h"
 #include "src/common/codec.h"
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
@@ -135,7 +138,16 @@ std::size_t Wal::truncate_obsolete(std::uint64_t min_needed_seq) {
     const Segment& seg = segments_.front();
     const bool empty = seg.first_seq == 0;
     if (!empty && seg.last_seq >= min_needed_seq) break;
-    (void)dfs_->remove(seg.path);
+    Status st = dfs_->remove(seg.path);
+    if (st.is_wrong_epoch()) {
+      // The master fenced this WAL: we are being recovered. Stop reclaiming
+      // — the split must see every remaining segment — and keep the local
+      // bookkeeping so a repeated call stays a no-op.
+      static Counter& fenced = global_counter("kv.wal_truncate_fenced");
+      fenced.add();
+      TFR_LOG(WARN, "wal") << base_path_ << " truncation fenced at " << seg.path;
+      break;
+    }
     segments_.erase(segments_.begin());
     ++removed;
   }
@@ -171,6 +183,39 @@ WalStats Wal::stats() const {
   return s;
 }
 
+namespace {
+
+/// Decode every whole frame of one durable segment. A torn final frame
+/// (sync raced a crash) truncates; a checksum mismatch is corruption.
+Result<std::vector<WalRecord>> read_segment(Dfs& dfs, const std::string& path) {
+  auto data = dfs.read_all(path);
+  if (!data.is_ok()) return data.status();
+  std::vector<WalRecord> out;
+  Decoder dec(data.value());
+  while (!dec.done()) {
+    std::string payload;
+    const auto before = dec.position();
+    std::uint32_t stored_crc = 0;
+    Status s = dec.get_string(&payload);
+    if (s.is_ok()) s = dec.get_u32(&stored_crc);
+    if (!s.is_ok()) {
+      // A torn final frame can only occur if a sync raced a crash; the
+      // durable prefix up to the last whole record is still valid.
+      TFR_LOG(WARN, "wal") << "torn WAL tail in " << path << " at offset " << before;
+      break;
+    }
+    if (crc32c(payload) != stored_crc) {
+      return Status::corruption("WAL record checksum mismatch in " + path);
+    }
+    auto rec = WalRecord::decode(payload);
+    if (!rec.is_ok()) return rec.status();
+    out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<std::vector<WalRecord>> Wal::read_records(Dfs& dfs, const std::string& base_path) {
   // Live segments are whatever still exists under the base path, in index
   // (and therefore sequence) order.
@@ -179,28 +224,9 @@ Result<std::vector<WalRecord>> Wal::read_records(Dfs& dfs, const std::string& ba
   std::sort(paths.begin(), paths.end());
   std::vector<WalRecord> out;
   for (const auto& path : paths) {
-    auto data = dfs.read_all(path);
-    if (!data.is_ok()) return data.status();
-    Decoder dec(data.value());
-    while (!dec.done()) {
-      std::string payload;
-      const auto before = dec.position();
-      std::uint32_t stored_crc = 0;
-      Status s = dec.get_string(&payload);
-      if (s.is_ok()) s = dec.get_u32(&stored_crc);
-      if (!s.is_ok()) {
-        // A torn final frame can only occur if a sync raced a crash; the
-        // durable prefix up to the last whole record is still valid.
-        TFR_LOG(WARN, "wal") << "torn WAL tail in " << path << " at offset " << before;
-        break;
-      }
-      if (crc32c(payload) != stored_crc) {
-        return Status::corruption("WAL record checksum mismatch in " + path);
-      }
-      auto rec = WalRecord::decode(payload);
-      if (!rec.is_ok()) return rec.status();
-      out.push_back(std::move(rec).value());
-    }
+    auto records = read_segment(dfs, path);
+    if (!records.is_ok()) return records.status();
+    for (auto& r : records.value()) out.push_back(std::move(r));
   }
   std::sort(out.begin(), out.end(),
             [](const WalRecord& a, const WalRecord& b) { return a.seq < b.seq; });
@@ -209,10 +235,58 @@ Result<std::vector<WalRecord>> Wal::read_records(Dfs& dfs, const std::string& ba
 
 Result<std::map<std::string, std::vector<WalRecord>>> Wal::split(Dfs& dfs,
                                                                  const std::string& base_path) {
-  auto records = read_records(dfs, base_path);
-  if (!records.is_ok()) return records.status();
+  return split(dfs, base_path, SplitOptions());
+}
+
+Result<std::map<std::string, std::vector<WalRecord>>> Wal::split(Dfs& dfs,
+                                                                 const std::string& base_path,
+                                                                 const SplitOptions& options) {
+  auto paths = dfs.list(base_path + ".");
+  if (paths.empty()) return Status::not_found("no WAL segments under " + base_path);
+  std::sort(paths.begin(), paths.end());
+
+  // Fan out per source segment. Workers claim segments off a shared cursor;
+  // each transient read failure is retried with jittered backoff a bounded
+  // number of times so one flaky replica does not fail the split outright.
+  std::vector<Result<std::vector<WalRecord>>> per_segment(
+      paths.size(), Result<std::vector<WalRecord>>(Status::internal("segment not read")));
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= paths.size()) return;
+      Backoff backoff(options.backoff_base, options.backoff_cap);
+      auto records = read_segment(dfs, paths[i]);
+      while (!records.is_ok() && records.status().is_unavailable() &&
+             backoff.attempts() + 1 < options.attempts_per_segment) {
+        backoff.sleep();
+        records = read_segment(dfs, paths[i]);
+      }
+      per_segment[i] = std::move(records);
+    }
+  };
+  const int workers =
+      std::max(1, std::min<int>(options.workers, static_cast<int>(paths.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // All-or-nothing: a split that dropped one segment would assign regions
+  // from an edit map that silently lost durable edits.
+  std::vector<WalRecord> merged;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!per_segment[i].is_ok()) {
+      TFR_LOG(WARN, "wal") << "split of " << base_path << " failed at " << paths[i] << ": "
+                           << per_segment[i].status();
+      return per_segment[i].status();
+    }
+    for (auto& r : per_segment[i].value()) merged.push_back(std::move(r));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const WalRecord& a, const WalRecord& b) { return a.seq < b.seq; });
   std::map<std::string, std::vector<WalRecord>> grouped;
-  for (auto& r : records.value()) {
+  for (auto& r : merged) {
     grouped[r.region].push_back(std::move(r));
   }
   return grouped;

@@ -82,7 +82,10 @@ class Wal {
 
   /// Delete closed segments whose records all have seq < `min_needed_seq`
   /// (i.e. every region's un-flushed edits start at or after it). Returns
-  /// the number of segments removed.
+  /// the number of segments removed. If the DFS rejects the delete with
+  /// WrongEpoch the WAL directory has been fenced by the master — this
+  /// server is dead to the cluster and must leave its segments for the
+  /// split (counted in kv.wal_truncate_fenced).
   std::size_t truncate_obsolete(std::uint64_t min_needed_seq);
 
   /// Sequence number through which records are durable.
@@ -102,10 +105,24 @@ class Wal {
   /// all of its live segments, in sequence order.
   static Result<std::vector<WalRecord>> read_records(Dfs& dfs, const std::string& base_path);
 
+  /// Tuning for the parallel split below.
+  struct SplitOptions {
+    int workers = 4;               ///< worker threads (capped by segment count)
+    int attempts_per_segment = 8;  ///< bounded retries of transient read errors
+    Micros backoff_base = millis(1);
+    Micros backoff_cap = millis(8);
+  };
+
   /// HBase log splitting: group the durable records of a failed server's
-  /// WAL by region, in sequence order.
+  /// WAL by region, in sequence order. Fans out per source segment across a
+  /// worker pool; each worker retries transient (Unavailable) read errors a
+  /// bounded number of times. All-or-nothing: if any segment cannot be
+  /// decoded the whole split fails — a partial edit map silently loses
+  /// durable edits for the regions whose segment was dropped.
   static Result<std::map<std::string, std::vector<WalRecord>>> split(
-      Dfs& dfs, const std::string& base_path);
+      Dfs& dfs, const std::string& base_path, const SplitOptions& options);
+  static Result<std::map<std::string, std::vector<WalRecord>>> split(Dfs& dfs,
+                                                                     const std::string& base_path);
 
  private:
   Wal(Dfs& dfs, std::string base_path) : dfs_(&dfs), base_path_(std::move(base_path)) {}

@@ -180,6 +180,10 @@ void RecoveryManager::poll_tick() {
     if (auto tfc = client_tf_.get(s.name)) coord_->put(kClientRegistryPrefix + s.name, *tfc);
   }
   for (const auto& s : coord_->live_sessions("servers")) {
+    // A failure the master detected early (failed open_region) can be fully
+    // handled while the dead server's session is still ticking down; its
+    // stale payload must not resurrect the erased registry entry.
+    if (failed_servers_.count(s.name)) continue;
     server_tp_.set(s.name, s.payload);
   }
   publish_locked();
@@ -192,6 +196,18 @@ Timestamp RecoveryManager::global_tf() const {
 
 Timestamp RecoveryManager::global_tp() const {
   return published_tp_.load(std::memory_order_acquire);
+}
+
+Timestamp RecoveryManager::min_recovery_floor() const {
+  MutexLock lock(mutex_);
+  Timestamp floor = kMaxTimestamp;
+  for (const auto& [region, pending] : pending_regions_) {
+    floor = std::min(floor, pending.tpr);
+  }
+  for (const auto& [client, tfr] : client_recovery_floor_) {
+    floor = std::min(floor, tfr);
+  }
+  return floor;
 }
 
 // --- client failure handling (Algorithm 2) ------------------------------------
@@ -262,13 +278,23 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
     // its final heartbeat reported an up-to-date TP(s).
     MutexLock lock(mutex_);
     (void)server_tp_.erase(info.name);
+    failed_servers_.erase(info.name);
     publish_locked();
     return;
   }
   // Crash: record the final payload so on_server_failure (called by the
   // master, possibly before our next poll) sees the freshest TPr(s). The
   // registry entry stays until then, conservatively pinning the global TP.
+  // Unless the failure was already handled ahead of this expiry — then the
+  // entry was deliberately erased and re-recording it would pin TP forever.
+  // Consume the tombstone and clear anything a pre-tombstone poll ingest
+  // may have resurrected; this expiry is the session's final event.
   MutexLock lock(mutex_);
+  if (failed_servers_.erase(info.name) > 0) {
+    (void)server_tp_.erase(info.name);
+    publish_locked();
+    return;
+  }
   server_tp_.lower(info.name, info.payload);
 }
 
@@ -280,17 +306,40 @@ void RecoveryManager::on_server_failure(const std::string& server_id,
     tpr = *tps;
     (void)server_tp_.erase(server_id);
   }
+  // If the master detected this death early (failed open_region), the dead
+  // server's session may still be ticking down. Keep the erase effective
+  // until it actually expires: the poll ingest and the expiry event both
+  // skip tombstoned servers (see poll_tick and on_server_session), otherwise
+  // the stale session — or the expiry event's own final-payload record —
+  // would re-insert the entry and pin the global TP at the dead server's
+  // last payload forever. When the expiry already dispatched, the tombstone
+  // simply lingers; servers never re-open a session under a prior name, so
+  // it shadows nothing (a restartable-server follow-on would need session
+  // incarnation ids here).
+  failed_servers_.insert(server_id);
   for (const auto& r : regions) {
     // The master bumped the region's epoch before invoking this hook; record
     // it so the gate below (and an RM resuming from the durable markers) can
     // insist the replay target holds at least this fenced grant.
     const std::uint64_t fenced = master_->region_epoch(r);
-    pending_regions_[r] = PendingRegion{server_id, tpr, fenced};
+    auto [it, inserted] =
+        pending_regions_.try_emplace(r, PendingRegion{server_id, tpr, fenced});
+    if (!inserted) {
+      // Cascade: the region was still mid-recovery from an earlier failure
+      // when its new owner died too. Inherit the stricter replay bound —
+      // TP(s') := min(TP(s'), TP(s)) (§3.2) — and the newest fence, so the
+      // eventual gate replays everything either failure could have lost and
+      // rejects any pre-cascade grant.
+      it->second.failed_server = server_id;
+      it->second.tpr = std::min(it->second.tpr, tpr);
+      it->second.fenced_epoch = std::max(it->second.fenced_epoch, fenced);
+    }
     // Durable marker first: the master only starts reassigning regions after
     // this hook returns, so by the time any gate can fire the pending set —
     // and therefore the replay obligation — is already crash-safe.
-    coord_->put(kRecoveringRegionPrefix + r, tpr);
-    coord_->put(kRecoveringEpochPrefix + r, static_cast<std::int64_t>(fenced));
+    coord_->put(kRecoveringRegionPrefix + r, it->second.tpr);
+    coord_->put(kRecoveringEpochPrefix + r,
+                static_cast<std::int64_t>(it->second.fenced_epoch));
   }
   ++stats_.server_recoveries;
   publish_locked();
@@ -346,12 +395,23 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
     MutexLock lock(mutex_);
     stats_.writesets_replayed_server += replayed;
     ++stats_.regions_recovered;
-    // Release this region's TP floor; once the last region of the failure is
-    // erased the replayed write-sets are the hosting servers' responsibility
-    // (they inherited TPr(s) via the piggyback).
-    pending_regions_.erase(region_name);
-    coord_->erase(kRecoveringRegionPrefix + region_name);
-    coord_->erase(kRecoveringEpochPrefix + region_name);
+    auto it = pending_regions_.find(region_name);
+    if (it != pending_regions_.end() && it->second.fenced_epoch == pending.fenced_epoch) {
+      // Release this region's TP floor; once the last region of the failure
+      // is erased the replayed write-sets are the hosting servers'
+      // responsibility (they inherited TPr(s) via the piggyback).
+      pending_regions_.erase(it);
+      coord_->erase(kRecoveringRegionPrefix + region_name);
+      coord_->erase(kRecoveringEpochPrefix + region_name);
+    } else if (it != pending_regions_.end()) {
+      // The entry was re-armed by a later failure (cascade) while this gate
+      // was replaying: our snapshot's obligation is consumed, but the newer
+      // one — with its min-inherited TPr — is not. Keep the entry and its
+      // floor; the post-cascade gate will consume it.
+      TFR_LOG(WARN, "rm") << "gate for " << region_name << " finished at fenced epoch "
+                          << pending.fenced_epoch << " but the region was re-armed at epoch "
+                          << it->second.fenced_epoch << "; replay obligation kept";
+    }
     publish_locked();
   }
   idle_cv_.notify_all();

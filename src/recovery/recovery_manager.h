@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -129,6 +130,13 @@ class RecoveryManager : public MasterHooks {
   Timestamp global_tf() const;
   Timestamp global_tp() const;
 
+  /// The lowest threshold floor held by any in-flight recovery: min over
+  /// pending-region TPr(s) floors and client TFr(c) floors, kMaxTimestamp
+  /// when none is pending. Every recovery still fetches from the TM log
+  /// above this bound, so the log's segment GC must never delete a record
+  /// at or below it — the invariant the cascading-failure soak monitors.
+  Timestamp min_recovery_floor() const;
+
   /// Force one poll/refresh now (tests use this instead of sleeping).
   void refresh_now() { poll_tick(); }
 
@@ -182,6 +190,15 @@ class RecoveryManager : public MasterHooks {
     std::uint64_t fenced_epoch = 0;
   };
   std::map<std::string, PendingRegion> pending_regions_ TFR_GUARDED_BY(mutex_);
+
+  /// Tombstones for servers whose failure was already handled but whose
+  /// coordination session has not expired yet (the master can detect a death
+  /// early, from a failed open_region). Without them, poll_tick's ingest of
+  /// the stale still-live session — or the eventual expiry event itself —
+  /// would resurrect the erased server_tp_ entry and pin the global TP at
+  /// the dead server's last payload forever. The expiry event consumes the
+  /// tombstone, so a restarted server under the same name starts clean.
+  std::set<std::string> failed_servers_ TFR_GUARDED_BY(mutex_);
 
   RecoveryManagerStats stats_ TFR_GUARDED_BY(mutex_);
   PeriodicTask poller_;

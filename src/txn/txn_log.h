@@ -18,6 +18,17 @@
 //     lanes' storage writes overlap. fetch/truncate present the union, in
 //     commit order, regardless of which lane holds a record.
 //
+// Storage is organised as commit-timestamp-ordered *segments* per lane
+// (DESIGN.md §8). The active segment absorbs appends until it reaches
+// `segment_records`, then seals and a fresh one opens. Truncation
+// (Algorithm 4) is logical: `truncate_through(TP)` advances a floor that
+// fetch filters against, so record-granular semantics are exact; physical
+// reclamation is segment-granular and asynchronous — a background GC pass
+// deletes whole sealed segments whose every record sits at or below the
+// floor. Segment max-timestamps form a monotone index per lane, so fetch
+// binary-searches to the first segment that can contain a survivor instead
+// of scanning all retained records.
+//
 // It also provides the recovery-manager interface: fetch committed
 // write-sets after a threshold (optionally for one client), and truncate
 // below the global checkpoint TP (§3.2: "transactions with timestamp
@@ -25,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -36,6 +48,7 @@
 #include "src/common/clock.h"
 #include "src/common/latency.h"
 #include "src/common/status.h"
+#include "src/common/threading.h"
 #include "src/kv/types.h"
 
 namespace tfr {
@@ -56,15 +69,32 @@ struct TxnLogConfig {
   /// `log.sync_wait` global histograms either way.
   bool adaptive = true;
   Micros max_group_wait = millis(2);  ///< hard cap on the accumulation window
+
+  /// Records per lane segment before the active segment seals. Small enough
+  /// that the retained suffix above TP spans few partially-dead segments,
+  /// large enough that the per-lane segment index stays short.
+  std::size_t segment_records = 512;
+  /// Background GC cadence; 0 disables the thread (physical reclamation then
+  /// happens only inline on truncate_through / gc_now, which tests use for
+  /// determinism).
+  Micros gc_interval = millis(20);
 };
 
 struct TxnLogStats {
   std::int64_t appends = 0;
   std::int64_t batches = 0;
-  std::int64_t truncated = 0;
-  std::int64_t live_records = 0;
+  std::int64_t truncated = 0;     ///< records logically below the floor
+  std::int64_t live_records = 0;  ///< records above the floor (replayable)
   std::int64_t live_bytes = 0;
   std::int64_t group_waits = 0;  ///< batches that held for the adaptive window
+  // Physical (segment) view: retained = still occupying memory, whether or
+  // not logically truncated; GC moves retained -> reclaimed a whole sealed
+  // segment at a time.
+  std::int64_t segments = 0;          ///< live segments across all lanes
+  std::int64_t retained_records = 0;  ///< records still held in segments
+  std::int64_t retained_bytes = 0;
+  std::int64_t gc_segments = 0;        ///< sealed segments physically deleted
+  std::int64_t gc_bytes_reclaimed = 0;
 };
 
 class TxnLog {
@@ -79,7 +109,8 @@ class TxnLog {
   /// commit). `ws.commit_ts` must be set and unique.
   Status append(WriteSet ws);
 
-  /// All durable write-sets with commit_ts > after_ts, in commit order.
+  /// All durable write-sets with commit_ts > after_ts (and above the
+  /// truncation floor), in commit order.
   std::vector<WriteSet> fetch_after(Timestamp after_ts) const;
 
   /// The durable write-sets committed by `client_id` after `after_ts`
@@ -87,9 +118,21 @@ class TxnLog {
   std::vector<WriteSet> fetch_client_after(const std::string& client_id,
                                            Timestamp after_ts) const;
 
-  /// Checkpoint: drop every record with commit_ts <= up_to. Safe once the
-  /// global persist threshold TP has passed them.
+  /// Checkpoint: logically drop every record with commit_ts <= up_to. Safe
+  /// once the global persist threshold TP has passed them. Physical
+  /// segment reclamation happens on the next GC pass.
   void truncate_through(Timestamp up_to);
+
+  /// Run one synchronous GC pass: seal oversized active segments and delete
+  /// sealed segments entirely at or below the truncation floor. The
+  /// background thread calls this on `gc_interval`; tests call it directly
+  /// for deterministic reclamation.
+  void gc_now();
+
+  /// Highest commit timestamp ever physically deleted by segment GC
+  /// (kNoTimestamp before the first reclaim). The cascading-failure soak
+  /// checks this never overtakes a live recovery floor.
+  Timestamp gc_watermark() const;
 
   TxnLogStats stats() const;
   int lanes() const { return static_cast<int>(lanes_.size()); }
@@ -100,6 +143,19 @@ class TxnLog {
     bool done = false;
   };
 
+  /// One commit-timestamp-ordered slab of records. `index_ts` is the
+  /// running max of commit timestamps across this and all earlier segments
+  /// of the lane — monotone by construction, so the lane's segment deque
+  /// can be binary-searched by threshold. `max_ts` is the segment's own
+  /// max, the exact GC-eligibility bound.
+  struct Segment {
+    std::map<Timestamp, WriteSet> records;
+    Timestamp max_ts = kNoTimestamp;
+    Timestamp index_ts = kNoTimestamp;
+    std::size_t bytes = 0;
+    bool sealed = false;
+  };
+
   // Lane state is guarded by the shared mutex_ (TSA cannot name an outer
   // member from a nested struct, so the queue carries no annotation).
   struct Lane {
@@ -107,6 +163,8 @@ class TxnLog {
     std::vector<std::shared_ptr<Pending>> queue;
     std::thread appender;
     LatencyModel sync_model;
+    // Oldest-first; back() is the active segment (never GC'd).
+    std::deque<Segment> segments;
     // Adaptive group-commit state (touched only by this lane's appender,
     // under mutex_): exponential averages of the observed sync latency and
     // batch size that size the accumulation window.
@@ -115,16 +173,21 @@ class TxnLog {
   };
 
   void appender_loop(Lane& lane);
+  void insert_locked(Lane& lane, WriteSet ws) TFR_REQUIRES(mutex_);
+  void gc_locked() TFR_REQUIRES(mutex_);
+  void export_gauges_locked() TFR_REQUIRES(mutex_);
 
   TxnLogConfig config_;
 
-  mutable Mutex mutex_{LockRank::kTxnLog, "txn_log"};  // queues + records + stats
+  mutable Mutex mutex_{LockRank::kTxnLog, "txn_log"};  // queues + segments + stats
   CondVar done_cv_;  // clients wait for durability
-  std::map<Timestamp, WriteSet> records_ TFR_GUARDED_BY(mutex_);  // durable, by commit ts
   bool stop_ TFR_GUARDED_BY(mutex_) = false;
   TxnLogStats stats_ TFR_GUARDED_BY(mutex_);
+  Timestamp floor_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;  // truncate_through high-water
+  Timestamp gc_watermark_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;
 
   std::vector<std::unique_ptr<Lane>> lanes_;
+  PeriodicTask gc_task_;
 };
 
 }  // namespace tfr

@@ -101,6 +101,31 @@ TEST(DfsTest, RemoveAndExists) {
   EXPECT_TRUE(dfs.remove("/f").is_not_found());
 }
 
+TEST(DfsTest, RemoveRefusedUnderFence) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/wal/rs1.log.00000001").is_ok());
+  dfs.fence_prefix("/wal/rs1.log");
+  // A fenced writer (dead-to-the-cluster server) cannot erase the evidence
+  // the WAL split needs.
+  EXPECT_TRUE(dfs.remove("/wal/rs1.log.00000001").is_wrong_epoch());
+  EXPECT_TRUE(dfs.exists("/wal/rs1.log.00000001"));
+}
+
+TEST(DfsTest, PurgePrefixReclaimsEvenFencedFiles) {
+  Dfs dfs(zero_latency());
+  ASSERT_TRUE(dfs.create("/wal/rs1.log.00000001").is_ok());
+  ASSERT_TRUE(dfs.create("/wal/rs1.log.00000002").is_ok());
+  ASSERT_TRUE(dfs.create("/wal/rs2.log.00000001").is_ok());
+  dfs.fence_prefix("/wal/rs1.log");
+  // The master's post-recovery purge is authoritative: it reclaims the dead
+  // server's directory right through the fence it installed itself.
+  EXPECT_EQ(dfs.purge_prefix("/wal/rs1.log."), 2u);
+  EXPECT_FALSE(dfs.exists("/wal/rs1.log.00000001"));
+  EXPECT_FALSE(dfs.exists("/wal/rs1.log.00000002"));
+  EXPECT_TRUE(dfs.exists("/wal/rs2.log.00000001"));
+  EXPECT_EQ(dfs.purge_prefix("/wal/rs1.log."), 0u);
+}
+
 TEST(DfsTest, SurvivesDatanodeFailureWithReplication) {
   Dfs dfs(zero_latency(/*nodes=*/3, /*repl=*/2));
   ASSERT_TRUE(dfs.write_file("/f", std::string(1000, 'd')).is_ok());

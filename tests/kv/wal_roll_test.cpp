@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "src/common/codec.h"
 #include "src/kv/region_server.h"
 #include "src/kv/wal.h"
 
@@ -155,6 +156,68 @@ TEST(WalRollTest, SplitAfterCrashSeesAllLiveSegments) {
     for (const auto& r : records) seqs.insert(r.seq);
   }
   EXPECT_EQ(seqs, (std::set<std::uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(WalRollTest, TruncateStopsAtMasterFence) {
+  Dfs dfs{DfsConfig{}};
+  auto wal = Wal::create(dfs, "/wal/rs1.log").value();
+  ASSERT_TRUE(wal->append(rec("r", 1)).is_ok());
+  ASSERT_TRUE(wal->roll().is_ok());
+  ASSERT_TRUE(wal->append(rec("r", 2)).is_ok());
+  // The master fenced this server's WAL directory: it is being recovered,
+  // and the split must see every remaining segment.
+  dfs.fence_prefix("/wal/rs1.log");
+  EXPECT_EQ(wal->truncate_obsolete(100), 0u);
+  EXPECT_EQ(wal->stats().live_segments, 2u);
+  EXPECT_TRUE(dfs.exists("/wal/rs1.log.00000001"));
+}
+
+TEST(WalRollTest, ParallelSplitMatchesSequentialReadAndKeepsSeqOrder) {
+  Dfs dfs{DfsConfig{}};
+  auto wal = Wal::create(dfs, "/wal/rs1.log").value();
+  for (Timestamp ts = 1; ts <= 40; ++ts) {
+    ASSERT_TRUE(wal->append(rec(ts % 2 ? "odd" : "even", ts)).is_ok());
+    if (ts % 8 == 0) ASSERT_TRUE(wal->roll().is_ok());
+  }
+  ASSERT_TRUE(wal->sync().is_ok());
+  Wal::SplitOptions opts;
+  opts.workers = 4;
+  auto grouped = Wal::split(dfs, "/wal/rs1.log", opts).value();
+  ASSERT_EQ(grouped.size(), 2u);
+  // Worker interleaving must not disturb per-region sequence order.
+  std::size_t total = 0;
+  for (const auto& [region, records] : grouped) {
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      EXPECT_LT(records[i - 1].seq, records[i].seq) << region;
+    }
+    total += records.size();
+  }
+  EXPECT_EQ(total, Wal::read_records(dfs, "/wal/rs1.log").value().size());
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(WalRollTest, SplitIsAllOrNothingOnCorruptSegment) {
+  Dfs dfs{DfsConfig{}};
+  auto wal = Wal::create(dfs, "/wal/rs1.log").value();
+  for (Timestamp ts = 1; ts <= 4; ++ts) {
+    ASSERT_TRUE(wal->append(rec("r", ts)).is_ok());
+    if (ts % 2 == 0) ASSERT_TRUE(wal->roll().is_ok());
+  }
+  ASSERT_TRUE(wal->sync().is_ok());
+  // Plant a segment whose frame decodes but fails its checksum: the split
+  // must fail outright rather than hand back an edit map that silently
+  // dropped one source segment's durable records.
+  std::string bad;
+  Encoder enc(&bad);
+  enc.put_string("not a wal record");
+  enc.put_u32(0);  // wrong checksum for the payload above
+  ASSERT_TRUE(dfs.create("/wal/rs1.log.00000099").is_ok());
+  ASSERT_TRUE(dfs.append("/wal/rs1.log.00000099", bad).is_ok());
+  ASSERT_TRUE(dfs.sync("/wal/rs1.log.00000099").is_ok());
+  auto split = Wal::split(dfs, "/wal/rs1.log");
+  ASSERT_FALSE(split.is_ok());
+  EXPECT_NE(split.status().to_string().find("checksum"), std::string::npos)
+      << split.status();
 }
 
 }  // namespace

@@ -241,6 +241,97 @@ TEST(TxnLogTest, NonAdaptiveModeNeverHoldsTheSync) {
   EXPECT_EQ(stats.group_waits, 0);
 }
 
+TEST(TxnLogTest, FetchAfterTruncateNeverReturnsTruncatedRecord) {
+  // Regression for the segment rebuild: a truncated record must be invisible
+  // to every fetch shape — below, at, and across segment boundaries, before
+  // and after physical GC — even when the caller's threshold is older than
+  // the truncation floor.
+  TxnLogConfig cfg;
+  cfg.lanes = 2;
+  cfg.segment_records = 8;  // truncation lands mid-segment and across seals
+  cfg.gc_interval = 0;      // physical reclamation only via gc_now()
+  TxnLog log(cfg);
+  for (Timestamp ts = 1; ts <= 50; ++ts) {
+    ASSERT_TRUE(log.append(make_ws(ts, "client-" + std::to_string(ts % 5))).is_ok());
+  }
+  log.truncate_through(33);
+  for (Timestamp after : {Timestamp{0}, Timestamp{10}, Timestamp{33}, Timestamp{40}}) {
+    for (const auto& ws : log.fetch_after(after)) {
+      EXPECT_GT(ws.commit_ts, 33) << "truncated record leaked at threshold " << after;
+      EXPECT_GT(ws.commit_ts, after);
+    }
+  }
+  EXPECT_EQ(log.fetch_after(0).size(), 17u);
+  for (const auto& ws : log.fetch_client_after("client-2", 0)) {
+    EXPECT_GT(ws.commit_ts, 33);
+  }
+  log.gc_now();  // physical deletion must not change what fetch returns
+  EXPECT_EQ(log.fetch_after(0).size(), 17u);
+  EXPECT_EQ(log.fetch_after(0).front().commit_ts, 34);
+  const auto stats = log.stats();
+  EXPECT_EQ(stats.truncated, 33);
+  EXPECT_EQ(stats.live_records, 17);
+  EXPECT_GT(stats.gc_segments, 0) << "no sealed segment became GC-eligible";
+  EXPECT_LE(log.gc_watermark(), 33);
+}
+
+TEST(TxnLogTest, SegmentGcReclaimsWholeSegmentsAndExportsMetrics) {
+  TxnLogConfig cfg;
+  cfg.segment_records = 10;
+  cfg.gc_interval = 0;
+  TxnLog log(cfg);
+  for (Timestamp ts = 1; ts <= 45; ++ts) ASSERT_TRUE(log.append(make_ws(ts)).is_ok());
+  auto stats = log.stats();
+  EXPECT_EQ(stats.segments, 5);  // 4 sealed + the active tail
+  EXPECT_EQ(stats.retained_records, 45);
+  // Logical truncation alone retains the records; GC reclaims whole sealed
+  // segments at or below the floor — ts <= 25 spans two full segments
+  // (1..10, 11..20) while 21..25 stays pinned by its segment's survivors.
+  log.truncate_through(25);
+  stats = log.stats();
+  EXPECT_EQ(stats.live_records, 20);
+  EXPECT_EQ(stats.segments, 3);
+  EXPECT_EQ(stats.gc_segments, 2);
+  EXPECT_EQ(stats.retained_records, 25);
+  EXPECT_GT(stats.gc_bytes_reclaimed, 0);
+  EXPECT_EQ(log.gc_watermark(), 20);
+  for (const auto& [name, value] : global_gauge_snapshot()) {
+    if (name == "log.segments") EXPECT_EQ(value, stats.segments);
+    if (name == "log.retained_txns") EXPECT_EQ(value, stats.retained_records);
+  }
+}
+
+TEST(TxnLogTest, RetainedRecordsPlateauUnderSustainedCommits) {
+  // The acceptance property behind Algorithm 4: with checkpointing keeping
+  // pace, physical retention is bounded by TP lag plus one partially-dead
+  // segment per lane — it must not grow with total commits.
+  TxnLogConfig cfg;
+  cfg.lanes = 2;
+  cfg.segment_records = 16;
+  cfg.gc_interval = 0;
+  TxnLog log(cfg);
+  constexpr Timestamp kTotal = 2000;
+  constexpr Timestamp kTpLag = 100;  // checkpoint trails the newest commit by this
+  std::int64_t max_retained = 0;
+  for (Timestamp ts = 1; ts <= kTotal; ++ts) {
+    ASSERT_TRUE(log.append(make_ws(ts, "client-" + std::to_string(ts % 7))).is_ok());
+    if (ts % 50 == 0) {
+      log.truncate_through(ts - kTpLag);
+      log.gc_now();
+      max_retained = std::max(max_retained, log.stats().retained_records);
+    }
+  }
+  const auto stats = log.stats();
+  // Bound: TP lag + checkpoint cadence + one sealing-boundary segment per
+  // lane. Far below kTotal — the legacy map would have retained all 2000.
+  const std::int64_t bound =
+      kTpLag + 50 + static_cast<std::int64_t>(cfg.lanes * cfg.segment_records) * 2;
+  EXPECT_LE(max_retained, bound);
+  EXPECT_LE(stats.segments, 2 * ((bound / static_cast<std::int64_t>(cfg.segment_records)) + 2));
+  EXPECT_GT(stats.gc_segments, 50);
+  EXPECT_EQ(stats.appends, kTotal);
+}
+
 TEST(TxnLogTest, FetchReturnsCommitOrderRegardlessOfAppendOrder) {
   TxnLog log(TxnLogConfig{});
   ASSERT_TRUE(log.append(make_ws(3)).is_ok());
