@@ -68,9 +68,15 @@ int main() {
   double best_tps = 0;
   double tps_at_50ms = 0;
   for (const Micros interval : intervals) {
-    bed.client().set_heartbeat_interval(interval);
+    if (auto s = bed.client().set_heartbeat_interval(interval); !s.is_ok()) {
+      std::fprintf(stderr, "client interval change failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
     for (int si = 0; si < bed.cluster().num_servers(); ++si) {
-      bed.cluster().server(si).set_heartbeat_interval(interval);
+      if (auto s = bed.cluster().server(si).set_heartbeat_interval(interval); !s.is_ok()) {
+        std::fprintf(stderr, "server interval change failed: %s\n", s.to_string().c_str());
+        return 1;
+      }
     }
     const auto r = run_point(bed, point_duration);
     std::printf("%-14lld %-12.1f %-12.2f %-12.2f\n",

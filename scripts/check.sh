@@ -4,13 +4,15 @@
 #
 # Usage:
 #   scripts/check.sh                     # plain RelWithDebInfo build + ctest
-#   scripts/check.sh analyze             # clang -Werror=thread-safety build
-#   scripts/check.sh lint                # scripts/lint.sh (clang-tidy + greps)
+#   scripts/check.sh analyze             # negative fixtures + clang TSA build
+#   scripts/check.sh lint                # scripts/lint.sh + negative fixtures
+#   scripts/check.sh sanitize            # ASan+UBSan build + full ctest
 #   scripts/check.sh soak-partition      # 10-seed zombie-server partition soak
 #   scripts/check.sh soak-recovery       # 20-seed cascading-failure soak
 #   scripts/check.sh bench-smoke         # ~5 s bench_commit A/B smoke run
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
+#   TFR_SANITIZE=address,undefined scripts/check.sh   # what `sanitize` runs
 #   TFR_CXX=clang++ TFR_SANITIZE=thread scripts/check.sh   # TSan under clang
 #   TFR_CXX=clang++ scripts/check.sh soak-partition        # soak under TSan
 #
@@ -39,21 +41,32 @@ compiler_is_clang() {
 MODE="${1:-test}"
 case "$MODE" in
   lint)
-    exec scripts/lint.sh
+    scripts/lint.sh
+    scripts/run_lint_fixtures.sh
+    exit 0
+    ;;
+  sanitize)
+    # The combined ASan+UBSan leg: one build, both classes of finding
+    # (mirrors the TSan plumbing; see TESTING.md "Analysis matrix").
+    exec env TFR_SANITIZE=address,undefined "$0" test
     ;;
   analyze)
+    # Compile-time gates first: these run under any compiler — the seeded
+    # negative fixtures must be rejected by -Werror=unused-result and the
+    # AcquireToken static rank check.
+    scripts/run_lint_fixtures.sh
     CXX="${CXX:-clang++}"
     if ! command -v "$CXX" > /dev/null 2>&1 || ! compiler_is_clang; then
-      echo "check.sh analyze: requires clang++ (set TFR_CXX to a clang binary)." >&2
-      echo "The TFR_* thread-safety annotations compile to nothing under gcc," >&2
-      echo "so an analysis build with it would be vacuously clean. Skipping is" >&2
-      echo "an error here, not a pass." >&2
+      echo "check.sh analyze: the thread-safety half requires clang++ (set TFR_CXX" >&2
+      echo "to a clang binary). The TFR_* annotations compile to nothing under gcc," >&2
+      echo "so an analysis build with it would be vacuously clean. The fixture" >&2
+      echo "gates above ran; the missing TSA build is an error here, not a pass." >&2
       exit 2
     fi
     BUILD_DIR=build-analyze
     cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER="$CXX" -DTFR_ANALYZE=ON
     cmake --build "$BUILD_DIR" -j"$(nproc)"
-    echo "analyze OK (clang -Werror=thread-safety, compiler: $CXX)"
+    echo "analyze OK (negative fixtures + clang -Werror=thread-safety, compiler: $CXX)"
     exit 0
     ;;
   soak-partition)
@@ -122,7 +135,7 @@ case "$MODE" in
     ;;
   test) ;;
   *)
-    echo "unknown subcommand '$MODE' (use: analyze, lint, soak-partition, soak-recovery, bench-smoke, or no argument)" >&2
+    echo "unknown subcommand '$MODE' (use: analyze, lint, sanitize, soak-partition, soak-recovery, bench-smoke, or no argument)" >&2
     exit 2
     ;;
 esac
@@ -133,8 +146,9 @@ case "$SAN" in
   address) BUILD_DIR=build-asan ;;
   thread) BUILD_DIR=build-tsan ;;
   undefined) BUILD_DIR=build-ubsan ;;
+  address,undefined | undefined,address) BUILD_DIR=build-asan-ubsan ;;
   *)
-    echo "unsupported TFR_SANITIZE='$SAN' (use address, thread, or undefined)" >&2
+    echo "unsupported TFR_SANITIZE='$SAN' (use address, thread, undefined, or address,undefined)" >&2
     exit 2
     ;;
 esac

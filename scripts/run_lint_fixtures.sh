@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Negative-fixture harness for the tfr-lint gates (the `lint_fixtures`
+# ctest). Each file in tests/lint_fixtures/ seeds exactly one violation; this
+# script proves the gates still catch them:
+#
+#   * ignored_status.cpp       must FAIL to compile (-Werror=unused-result)
+#   * static_rank_inversion.cpp must FAIL to compile (AcquireToken static_assert)
+#   * blocking_under_lock.cpp  must compile, then be FLAGGED by the static
+#                              blocking-under-lock pass
+#   * control_ok.cpp           must compile clean and pass the pass — guards
+#                              against gates that reject everything
+#
+# Uses whatever C++ compiler the build would (TFR_CXX, then c++), with the
+# same flags that matter to the fixtures. Exit 0 iff every expectation holds.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${TFR_CXX:-c++}"
+FLAGS=(-std=c++20 -I. -fsyntax-only -Wall -Wextra -Werror=unused-result)
+FIX=tests/lint_fixtures
+fail=0
+
+expect_compile_fail() {
+  local f="$1"
+  if "$CXX" "${FLAGS[@]}" "$FIX/$f" 2> /dev/null; then
+    echo "lint_fixtures: $f COMPILED but must be rejected" >&2
+    fail=1
+  else
+    echo "lint_fixtures: $f rejected by the compiler, as expected"
+  fi
+}
+
+expect_compile_ok() {
+  local f="$1"
+  if ! "$CXX" "${FLAGS[@]}" "$FIX/$f"; then
+    echo "lint_fixtures: $f must compile clean but did not" >&2
+    fail=1
+  else
+    echo "lint_fixtures: $f compiles clean, as expected"
+  fi
+}
+
+expect_compile_fail ignored_status.cpp
+expect_compile_fail static_rank_inversion.cpp
+expect_compile_ok blocking_under_lock.cpp
+expect_compile_ok control_ok.cpp
+
+# Stage each scan fixture in an isolated tree so check_blocking.py sees only
+# it; the headers it includes are not scanned (they live outside the stage).
+stage=$(mktemp -d)
+trap 'rm -rf "$stage"' EXIT
+
+mkdir -p "$stage/src"
+cp "$FIX/blocking_under_lock.cpp" "$stage/src/"
+if python3 scripts/check_blocking.py "$stage" > /dev/null 2>&1; then
+  echo "lint_fixtures: blocking_under_lock.cpp passed the blocking scan but must be flagged" >&2
+  fail=1
+else
+  echo "lint_fixtures: blocking_under_lock.cpp flagged by the blocking scan, as expected"
+fi
+
+rm -f "$stage/src/blocking_under_lock.cpp"
+cp "$FIX/control_ok.cpp" "$stage/src/"
+if ! python3 scripts/check_blocking.py "$stage"; then
+  echo "lint_fixtures: control_ok.cpp flagged by the blocking scan but must pass" >&2
+  fail=1
+else
+  echo "lint_fixtures: control_ok.cpp passes the blocking scan, as expected"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint_fixtures FAILED" >&2
+  exit 1
+fi
+echo "lint_fixtures OK"

@@ -86,7 +86,9 @@ TxnClient::TxnClient(std::string id, TxnManager& tm, Master& master, Coord& coor
 TxnClient::~TxnClient() {
   // A client that was closed cleanly or crashed has already joined its
   // threads; otherwise shut down cleanly now.
-  if (!crashed() && running_.load(std::memory_order_acquire)) (void)close();
+  if (!crashed() && running_.load(std::memory_order_acquire)) {
+    TFR_IGNORE_STATUS(close(), "destructor close is best-effort; RM recovery is the backstop");
+  }
   std::thread terminator;
   {
     MutexLock lock(lifecycle_mutex_);

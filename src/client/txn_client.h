@@ -154,11 +154,14 @@ class TxnClient {
 
   /// Change the heartbeat interval at runtime (the Figure 2(b) sweep). The
   /// failure-detection window scales with it (TTL = 3 intervals), as it
-  /// must: a long interval with a short TTL reads as a dead client.
-  void set_heartbeat_interval(Micros interval) {
-    (void)coord_->update_ttl("clients", id_, interval * 3);
+  /// must: a long interval with a short TTL reads as a dead client. Fails
+  /// if the coord session is already expired or closed — the RM may be
+  /// recovering this client, and re-registering a TTL would race with it.
+  Status set_heartbeat_interval(Micros interval) {
+    TFR_RETURN_IF_ERROR(coord_->update_ttl("clients", id_, interval * 3));
     heartbeats_.set_interval(interval);
     heartbeat_now();
+    return Status::ok();
   }
 
   TxnClientStats stats() const;
@@ -192,7 +195,7 @@ class TxnClient {
   // self-terminator) may race to join the flushers — each claims the
   // handles under the lock and joins outside it, so a thread is joined
   // exactly once.
-  Mutex lifecycle_mutex_{LockRank::kClientLifecycle, "txn_client.lifecycle"};
+  RankedMutex<LockRank::kClientLifecycle> lifecycle_mutex_{"txn_client.lifecycle"};
   std::vector<std::thread> flushers_ TFR_GUARDED_BY(lifecycle_mutex_);
   std::thread self_terminator_ TFR_GUARDED_BY(lifecycle_mutex_);  // runs crash() (§3.1)
 

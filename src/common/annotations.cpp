@@ -1,10 +1,14 @@
-// Runtime lock-rank validator (annotations.h Layer 2). Per-thread stack of
-// held locks; an acquisition whose rank is not strictly below every held
-// rank — or that re-enters a lock this thread already holds — prints both
-// "stacks" (the held locks with their acquire sites, and a backtrace of the
-// offending acquisition) and aborts. Deliberately fprintf/abort rather than
-// TFR_LOG/Status: the violation may well involve the logging lock itself,
-// and a lock-discipline break is never recoverable state.
+// Runtime lock-rank validator (annotations.h Layer 3) and the
+// blocking-under-lock hook (Layer 4). Per-thread stack of held locks; an
+// acquisition whose rank is not strictly below every held rank — or that
+// re-enters a lock this thread already holds, or whose rank is not in the
+// generated table — prints both "stacks" (the held locks with their acquire
+// sites, and a backtrace of the offending acquisition) and aborts. A
+// blocking call (TFR_BLOCKING_POINT) or CondVar wait made while holding a
+// lock whose rank policy forbids blocking aborts the same way. Deliberately
+// fprintf/abort rather than TFR_LOG/Status: the violation may well involve
+// the logging lock itself, and a lock-discipline break is never recoverable
+// state.
 #include "src/common/annotations.h"
 
 #if TFR_LOCK_RANK
@@ -34,20 +38,17 @@ struct Held {
 
 thread_local std::vector<Held> t_held;
 
-[[noreturn]] void die(const char* why, const Held& incoming) {
-  std::fprintf(stderr,
-               "\n==== tfr lock-rank violation: %s ====\n"
-               "attempting to acquire: %-24s rank %-3d (%s) at %s:%d\n"
-               "locks held by this thread (outermost first):\n",
-               why, incoming.name, incoming.rank, incoming.shared ? "shared" : "exclusive",
-               incoming.file, incoming.line);
+// Nesting depth of active ScopedBlockingAllowed scopes on this thread.
+thread_local int t_blocking_allowance = 0;
+
+void print_held() {
   for (const Held& h : t_held) {
     std::fprintf(stderr, "  held: %-24s rank %-3d (%s) acquired at %s:%d\n", h.name, h.rank,
                  h.shared ? "shared" : "exclusive", h.file, h.line);
   }
-  std::fprintf(stderr, "rule: a thread may only acquire a mutex of strictly lower rank than\n"
-                       "every mutex it already holds (see DESIGN.md \"Lock ranks\").\n"
-                       "backtrace of the offending acquisition:\n");
+}
+
+void print_backtrace() {
 #if TFR_HAVE_BACKTRACE
   void* frames[32];
   const int n = backtrace(frames, 32);
@@ -55,6 +56,43 @@ thread_local std::vector<Held> t_held;
 #else
   std::fprintf(stderr, "  (backtrace unavailable on this platform)\n");
 #endif
+}
+
+[[noreturn]] void die(const char* why, const Held& incoming) {
+  std::fprintf(stderr,
+               "\n==== tfr lock-rank violation: %s ====\n"
+               "attempting to acquire: %-24s rank %-3d (%s) at %s:%d\n"
+               "locks held by this thread (outermost first):\n",
+               why, incoming.name, incoming.rank, incoming.shared ? "shared" : "exclusive",
+               incoming.file, incoming.line);
+  print_held();
+  std::fprintf(stderr, "rule: a thread may only acquire a mutex of strictly lower rank than\n"
+                       "every mutex it already holds, and every rank must come from the\n"
+                       "generated table (see DESIGN.md \"Lock ranks\").\n"
+                       "backtrace of the offending acquisition:\n");
+  print_backtrace();
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void die_blocking(const char* what, const char* file, int line,
+                               const Held& offender) {
+  std::fprintf(stderr,
+               "\n==== tfr blocking-under-lock violation ====\n"
+               "blocking call: %s at %s:%d\n"
+               "while holding %s (rank %d, may_block=false), acquired at %s:%d\n"
+               "locks held by this thread (outermost first):\n",
+               what, file, line, offender.name, offender.rank, offender.file, offender.line);
+  print_held();
+  std::fprintf(stderr,
+               "rule: a thread may not block (DFS I/O, RPC, sync, sleep, foreign CondVar\n"
+               "wait) while holding a mutex whose rank's may_block policy is false\n"
+               "(src/common/lock_ranks.h). Either restructure to drop the lock first, or\n"
+               "— if holding it across the block is deliberate — wrap the call in\n"
+               "tfr::ScopedBlockingAllowed with a justification (see DESIGN.md \"Lock\n"
+               "ranks\", blocking policy).\n"
+               "backtrace of the blocking call:\n");
+  print_backtrace();
   std::fflush(stderr);
   std::abort();
 }
@@ -64,6 +102,7 @@ thread_local std::vector<Held> t_held;
 void on_acquire(const void* mu, int rank, const char* name, bool shared, const char* file,
                 int line) {
   const Held incoming{mu, rank, name, shared, file, line};
+  if (!lock_rank_known(rank)) die("rank not in the generated table", incoming);
   for (const Held& h : t_held) {
     if (h.mu == mu) die("re-entrant acquisition", incoming);
     if (rank >= h.rank) die("out-of-order acquisition", incoming);
@@ -84,6 +123,35 @@ void on_release(const void* mu) {
   die("release of a lock not held by this thread", incoming);
 }
 
+void on_blocking_call(const char* what, const char* file, int line) {
+  if (t_blocking_allowance > 0) return;
+  for (const Held& h : t_held) {
+    if (!lock_rank_may_block(h.rank)) die_blocking(what, file, line, h);
+  }
+}
+
+void on_cv_wait(const void* waited_mu, const char* file, int line) {
+  if (t_blocking_allowance > 0) return;
+  for (const Held& h : t_held) {
+    // The waited-on mutex is released for the duration of the wait.
+    if (h.mu == waited_mu) continue;
+    if (!lock_rank_may_block(h.rank)) die_blocking("condvar.wait", file, line, h);
+  }
+}
+
+std::size_t held_lock_count() { return t_held.size(); }
+
 }  // namespace tfr::lockrank
+
+namespace tfr {
+
+ScopedBlockingAllowed::ScopedBlockingAllowed(const char* why) {
+  (void)why;  // documentation for the reader; the hook only needs the scope
+  ++lockrank::t_blocking_allowance;
+}
+
+ScopedBlockingAllowed::~ScopedBlockingAllowed() { --lockrank::t_blocking_allowance; }
+
+}  // namespace tfr
 
 #endif  // TFR_LOCK_RANK

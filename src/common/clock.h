@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/common/annotations.h"
+
 namespace tfr {
 
 using Micros = std::int64_t;
@@ -16,11 +18,18 @@ Micros now_micros();
 /// Wall-clock time in microseconds since the Unix epoch (for log lines).
 Micros wall_micros();
 
-inline void sleep_micros(Micros us) {
-  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+// Every modeled latency in the tree (DFS I/O, RPC hops, fsync costs) bottoms
+// out in this sleep, so the blocking-under-lock hook here is the backstop
+// that catches any blocking call the per-entry-point TFR_BLOCKING_POINT
+// annotations miss.
+TFR_BLOCKING inline void sleep_micros(Micros us) {
+  if (us > 0) {
+    TFR_BLOCKING_POINT("clock.sleep");
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
 }
 
-inline void sleep_millis(std::int64_t ms) { sleep_micros(ms * 1000); }
+TFR_BLOCKING inline void sleep_millis(std::int64_t ms) { sleep_micros(ms * 1000); }
 
 constexpr Micros millis(std::int64_t ms) { return ms * 1000; }
 constexpr Micros seconds(std::int64_t s) { return s * 1'000'000; }

@@ -47,7 +47,7 @@ class EpochRegistry {
   Status validate(const std::string& region, std::uint64_t epoch) const;
 
  private:
-  mutable Mutex mutex_{LockRank::kEpochRegistry, "epoch_registry"};
+  mutable RankedMutex<LockRank::kEpochRegistry> mutex_{"epoch_registry"};
   std::map<std::string, std::uint64_t> epochs_ TFR_GUARDED_BY(mutex_);
 };
 

@@ -172,7 +172,7 @@ class FaultInjector {
  private:
   std::atomic<bool> enabled_{false};
 
-  mutable Mutex mutex_{LockRank::kFaultInjector, "fault_injector"};
+  mutable RankedMutex<LockRank::kFaultInjector> mutex_{"fault_injector"};
   std::uint64_t seed_ TFR_GUARDED_BY(mutex_) = 0;
   Rng rng_ TFR_GUARDED_BY(mutex_){0};
   std::vector<FaultRule> rules_ TFR_GUARDED_BY(mutex_);

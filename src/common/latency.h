@@ -47,7 +47,7 @@ class LatencyModel {
  private:
   std::atomic<Micros> base_{0};
   std::atomic<Micros> jitter_mean_{0};
-  Mutex mutex_{LockRank::kLatencyModel, "latency_rng"};
+  RankedMutex<LockRank::kLatencyModel> mutex_{"latency_rng"};
   Rng rng_ TFR_GUARDED_BY(mutex_){0xfeedfaceULL};
 };
 

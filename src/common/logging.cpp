@@ -9,7 +9,7 @@ namespace tfr {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWARN)};
-Mutex g_emit_mutex{LockRank::kLogging, "log_emit"};
+RankedMutex<LockRank::kLogging> g_emit_mutex{"log_emit"};
 
 const char* level_name(LogLevel l) {
   switch (l) {

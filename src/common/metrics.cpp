@@ -12,7 +12,7 @@ namespace tfr {
 
 namespace {
 struct CounterRegistry {
-  Mutex mutex{LockRank::kMetrics, "counter_registry"};
+  RankedMutex<LockRank::kMetrics> mutex{"counter_registry"};
   // unique_ptr gives each Counter a stable address across rehashing.
   std::map<std::string, std::unique_ptr<Counter>> counters TFR_GUARDED_BY(mutex);
 };
@@ -23,7 +23,7 @@ CounterRegistry& registry() {
 }
 
 struct HistogramRegistry {
-  Mutex mutex{LockRank::kMetrics, "histogram_registry"};
+  RankedMutex<LockRank::kMetrics> mutex{"histogram_registry"};
   std::map<std::string, std::unique_ptr<Histogram>> histograms TFR_GUARDED_BY(mutex);
 };
 
@@ -33,7 +33,7 @@ HistogramRegistry& histogram_registry() {
 }
 
 struct GaugeRegistry {
-  Mutex mutex{LockRank::kMetrics, "gauge_registry"};
+  RankedMutex<LockRank::kMetrics> mutex{"gauge_registry"};
   std::map<std::string, std::unique_ptr<Gauge>> gauges TFR_GUARDED_BY(mutex);
 };
 

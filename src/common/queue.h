@@ -87,7 +87,7 @@ class BlockingQueue {
   }
 
  private:
-  mutable Mutex mutex_{LockRank::kQueue, "blocking_queue"};
+  mutable RankedMutex<LockRank::kQueue> mutex_{"blocking_queue"};
   CondVar cv_;
   std::deque<T> items_ TFR_GUARDED_BY(mutex_);
   bool closed_ TFR_GUARDED_BY(mutex_) = false;
@@ -144,7 +144,7 @@ class SyncedMinQueue {
       return a.first > b.first;
     }
   };
-  mutable Mutex mutex_{LockRank::kQueue, "synced_min_queue"};
+  mutable RankedMutex<LockRank::kQueue> mutex_{"synced_min_queue"};
   std::priority_queue<std::pair<Ts, Payload>, std::vector<std::pair<Ts, Payload>>, Greater> heap_
       TFR_GUARDED_BY(mutex_);
 };

@@ -113,4 +113,23 @@ class [[nodiscard]] Result {
     if (!_tfr_status.is_ok()) return _tfr_status;  \
   } while (0)
 
+namespace internal {
+// Overload set so TFR_IGNORE_STATUS works on Status and Result<T> alike.
+inline void ignore_status(const Status&) {}
+template <typename T>
+void ignore_status(const Result<T>&) {}
+}  // namespace internal
+
+/// The only sanctioned way to drop a Status/Result on the floor. `why` must
+/// be a string literal saying in one line why ignoring the error is correct
+/// at this site ("best-effort X; Y is the backstop"). scripts/lint.sh
+/// rejects raw `(void)call()` casts in src/, so every discard is greppable
+/// (`git grep TFR_IGNORE_STATUS`) and carries its justification.
+#define TFR_IGNORE_STATUS(expr, why)                                            \
+  do {                                                                          \
+    static_assert(sizeof(why "") > 1, "TFR_IGNORE_STATUS needs a non-empty "    \
+                                      "string-literal justification");          \
+    ::tfr::internal::ignore_status((expr));                                     \
+  } while (0)
+
 }  // namespace tfr

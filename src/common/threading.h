@@ -102,7 +102,7 @@ class PeriodicTask {
   }
 
   std::function<void()> fn_;  // invoked unlocked, on the task thread only
-  mutable Mutex mutex_{LockRank::kThreadingInternal, "periodic_task"};
+  mutable RankedMutex<LockRank::kThreadingInternal> mutex_{"periodic_task"};
   CondVar cv_;
   Micros interval_ TFR_GUARDED_BY(mutex_);
   std::thread thread_ TFR_GUARDED_BY(mutex_);
@@ -133,7 +133,7 @@ class Semaphore {
   }
 
  private:
-  Mutex mutex_{LockRank::kThreadingInternal, "semaphore"};
+  RankedMutex<LockRank::kThreadingInternal> mutex_{"semaphore"};
   CondVar cv_;
   int count_ TFR_GUARDED_BY(mutex_);
 };
@@ -176,7 +176,7 @@ class CountdownLatch {
   }
 
  private:
-  Mutex mutex_{LockRank::kThreadingInternal, "countdown_latch"};
+  RankedMutex<LockRank::kThreadingInternal> mutex_{"countdown_latch"};
   CondVar cv_;
   int count_ TFR_GUARDED_BY(mutex_);
 };

@@ -19,6 +19,7 @@ Coord::~Coord() { checker_.stop(); }
 
 Status Coord::create_session(const std::string& group, const std::string& name, Micros ttl,
                              HeartbeatPayload initial_payload) {
+  TFR_BLOCKING_POINT("coord.create_session");
   MutexLock lock(mutex_);
   const auto key = key_of(group, name);
   auto it = sessions_.find(key);
@@ -37,6 +38,7 @@ Status Coord::create_session(const std::string& group, const std::string& name, 
 
 Status Coord::heartbeat(const std::string& group, const std::string& name,
                         HeartbeatPayload payload) {
+  TFR_BLOCKING_POINT("coord.heartbeat");
   SessionInfo info;
   std::vector<SessionListener> to_notify;
   {
@@ -81,6 +83,7 @@ Status Coord::heartbeat(const std::string& group, const std::string& name,
 }
 
 Status Coord::update_ttl(const std::string& group, const std::string& name, Micros ttl) {
+  TFR_BLOCKING_POINT("coord.update_ttl");
   MutexLock lock(mutex_);
   auto it = sessions_.find(key_of(group, name));
   if (it == sessions_.end() || !it->second.info.alive) {

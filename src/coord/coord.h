@@ -60,17 +60,17 @@ class Coord {
   /// The session expires if not renewed within `ttl`. `initial_payload` is
   /// the threshold reported until the first heartbeat, so a fresh session is
   /// never observed with a meaningless payload.
-  Status create_session(const std::string& group, const std::string& name, Micros ttl,
+  TFR_BLOCKING Status create_session(const std::string& group, const std::string& name, Micros ttl,
                         HeartbeatPayload initial_payload = 0);
 
   /// Renew the session and update its piggybacked payload. Returns
   /// Unavailable if the session has already been declared dead — the paper
   /// requires messages from a declared-dead node to be ignored.
-  Status heartbeat(const std::string& group, const std::string& name, HeartbeatPayload payload);
+  TFR_BLOCKING Status heartbeat(const std::string& group, const std::string& name, HeartbeatPayload payload);
 
   /// Adjust a live session's TTL (e.g. after reconfiguring the heartbeat
   /// interval at runtime). Also counts as a renewal.
-  Status update_ttl(const std::string& group, const std::string& name, Micros ttl);
+  TFR_BLOCKING Status update_ttl(const std::string& group, const std::string& name, Micros ttl);
 
   /// Clean shutdown: unregister without triggering failure handling.
   Status close_session(const std::string& group, const std::string& name);
@@ -114,7 +114,7 @@ class Coord {
     Micros ttl = 0;
   };
 
-  mutable Mutex mutex_{LockRank::kCoord, "coord"};
+  mutable RankedMutex<LockRank::kCoord> mutex_{"coord"};
   std::map<std::string, Session> sessions_ TFR_GUARDED_BY(mutex_);  // key = group + "/" + name
   std::map<std::string, std::vector<std::pair<int, SessionListener>>> listeners_
       TFR_GUARDED_BY(mutex_);

@@ -51,6 +51,7 @@ void Dfs::place_blocks(File& f) {
 }
 
 Result<std::uint64_t> Dfs::sync(const std::string& path) {
+  TFR_BLOCKING_POINT("dfs.sync");
   std::uint64_t target = 0;
   {
     MutexLock lock(mutex_);
@@ -84,6 +85,7 @@ Result<std::uint64_t> Dfs::sync(const std::string& path) {
 }
 
 Status Dfs::write_file(const std::string& path, std::string_view data) {
+  TFR_BLOCKING_POINT("dfs.write_file");
   TFR_RETURN_IF_ERROR(create(path));
   TFR_RETURN_IF_ERROR(append(path, data));
   auto synced = sync(path);
@@ -118,6 +120,7 @@ bool Dfs::block_readable(const Block& b) const {
 }
 
 Result<std::string> Dfs::read(const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  TFR_BLOCKING_POINT("dfs.read");
   if (fault_ != nullptr) {
     // Injected transient read error (a flapping datanode) or slow read.
     TFR_RETURN_IF_ERROR(fault_->check(FaultOp::kDfsRead, path));

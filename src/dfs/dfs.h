@@ -59,10 +59,10 @@ class Dfs {
 
   /// Make everything appended so far durable (HDFS hflush). Charges the
   /// sync latency. Returns the durable length.
-  Result<std::uint64_t> sync(const std::string& path);
+  TFR_BLOCKING Result<std::uint64_t> sync(const std::string& path);
 
   /// Create + append + sync in one call (used for immutable store files).
-  Status write_file(const std::string& path, std::string_view data);
+  TFR_BLOCKING Status write_file(const std::string& path, std::string_view data);
 
   /// Close the file for further appends (it remains readable).
   Status close(const std::string& path);
@@ -73,10 +73,10 @@ class Dfs {
 
   /// Read [offset, offset+len) of the *durable* prefix. Charges read latency
   /// per block touched. Reading past the durable length truncates.
-  Result<std::string> read(const std::string& path, std::uint64_t offset, std::uint64_t len);
+  TFR_BLOCKING Result<std::string> read(const std::string& path, std::uint64_t offset, std::uint64_t len);
 
   /// Read the whole durable prefix.
-  Result<std::string> read_all(const std::string& path);
+  TFR_BLOCKING Result<std::string> read_all(const std::string& path);
 
   /// Atomically rename `from` to `to`. Fails if `from` is missing or `to`
   /// exists. The building block of rename-based store-file fencing: a
@@ -152,7 +152,7 @@ class Dfs {
   LatencyModel read_model_;
   FaultInjector* fault_ = nullptr;
 
-  mutable Mutex mutex_{LockRank::kDfs, "dfs"};
+  mutable RankedMutex<LockRank::kDfs> mutex_{"dfs"};
   std::map<std::string, File> files_ TFR_GUARDED_BY(mutex_);
   std::vector<std::string> fenced_prefixes_ TFR_GUARDED_BY(mutex_);
   std::vector<bool> datanode_up_ TFR_GUARDED_BY(mutex_);

@@ -79,7 +79,7 @@ class BlockCache {
 
  private:
   struct Shard {
-    mutable Mutex mutex{LockRank::kBlockCache, "block_cache_shard"};
+    mutable RankedMutex<LockRank::kBlockCache> mutex{"block_cache_shard"};
     CondVar load_done;  // signaled whenever an in-flight load finishes
     std::list<std::string> lru TFR_GUARDED_BY(mutex);  // front = most recent
     struct Entry {

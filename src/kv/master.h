@@ -140,7 +140,7 @@ class Master {
   Coord* coord_;
   EpochRegistry* epochs_ = nullptr;
 
-  mutable Mutex mutex_{LockRank::kMaster, "master"};
+  mutable RankedMutex<LockRank::kMaster> mutex_{"master"};
   std::map<std::string, RegionServer*> servers_ TFR_GUARDED_BY(mutex_);  // all ever registered
   std::map<std::string, bool> server_alive_ TFR_GUARDED_BY(mutex_);
   std::map<std::string, RegionLocation> assignment_ TFR_GUARDED_BY(mutex_);  // region -> location

@@ -177,6 +177,7 @@ Result<std::vector<Cell>> Region::scan_legacy(const std::string& start, const st
 }
 
 Status Region::finalize_store_file(StoreFileWriter& writer, const std::string& path) {
+  TFR_BLOCKING_POINT("region.finalize_store_file");
   if (epochs_ == nullptr) return writer.finish(*dfs_, path);
   // Write to a tmp path outside the data dir (a half-written tmp file left
   // by a crashed owner must never be picked up by load_store_files), then
@@ -189,7 +190,9 @@ Status Region::finalize_store_file(StoreFileWriter& writer, const std::string& p
   Status fence = epochs_->validate(name(), epoch());
   if (fence.is_ok()) fence = dfs_->rename(tmp, path);
   if (!fence.is_ok()) {
-    (void)dfs_->remove(tmp);
+    TFR_IGNORE_STATUS(dfs_->remove(tmp),
+                      "tmp cleanup after a failed finalize; /tmp is outside the data dir and "
+                      "never loaded, an orphan only wastes space");
     if (fence.is_wrong_epoch()) {
       static Counter& rejects = global_counter("kv.epoch_rejects");
       rejects.add();
@@ -205,6 +208,8 @@ Status Region::flush_memstore() {
   StoreFileWriter writer(store_block_bytes_);
   for (const auto& c : memstore_.snapshot()) writer.add(c);
   const std::string path = data_dir() + "sf-" + std::to_string(next_file_id_++);
+  // tfr-lint: blocking-ok(region lock held across the DFS write by design — writes must
+  // not land between snapshot and swap; kRegion is may_block=true in the rank table)
   TFR_RETURN_IF_ERROR(finalize_store_file(writer, path));
   auto reader = StoreFileReader::open(*dfs_, path);
   if (!reader.is_ok()) return reader.status();
@@ -293,7 +298,9 @@ Status Region::compact(Timestamp prune_before_ts) {
     // bail out (the new merged file is discarded) and let the caller retry.
     if (files_.size() != inputs.size() ||
         !std::equal(files_.begin(), files_.end(), inputs.begin())) {
-      (void)dfs_->remove(path);
+      TFR_IGNORE_STATUS(dfs_->remove(path),
+                        "discarding the unmerged compaction output; it was never attached, an "
+                        "orphan only wastes space");
       return Status::unavailable("compaction raced a flush on " + name());
     }
     for (const auto& f : files_) obsolete.push_back(f->path());
@@ -301,7 +308,9 @@ Status Region::compact(Timestamp prune_before_ts) {
     files_.push_back(reader.value());
   }
   for (const auto& p : obsolete) {
-    (void)dfs_->remove(p);
+    TFR_IGNORE_STATUS(dfs_->remove(p),
+                      "obsolete input already detached from files_; a leaked store file is "
+                      "unreferenced and harmless");
     cache_->invalidate_prefix(p + "#");
   }
   TFR_LOG(INFO, "region") << name() << " compacted " << inputs.size() << " files -> 1 ("

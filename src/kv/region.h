@@ -89,7 +89,7 @@ class Region {
   /// Flush the memstore to a new store file in the DFS and clear it. The
   /// region's updates become durable in the data files themselves, allowing
   /// WAL truncation in a real system. No-op on an empty memstore.
-  Status flush_memstore();
+  TFR_BLOCKING Status flush_memstore();
 
   /// Compaction: merge all store files into one, dropping versions that no
   /// snapshot can still read. `prune_before_ts` must be at or below the
@@ -99,7 +99,7 @@ class Region {
   /// vanishes. Pass kNoTimestamp to merge without pruning. No-op with
   /// fewer than two store files; returns Unavailable if a concurrent
   /// memstore flush lands mid-compaction (just retry later).
-  Status compact(Timestamp prune_before_ts = kNoTimestamp);
+  TFR_BLOCKING Status compact(Timestamp prune_before_ts = kNoTimestamp);
 
   /// All cells of this region, every version, memstore and store files
   /// merged and de-duplicated, in (row, column, ts desc) order. Region
@@ -115,7 +115,7 @@ class Region {
  private:
   /// Rename-based fencing for store-file publication: write to a tmp path,
   /// re-check the epoch, then rename into the region's data dir.
-  Status finalize_store_file(StoreFileWriter& writer, const std::string& path);
+  TFR_BLOCKING Status finalize_store_file(StoreFileWriter& writer, const std::string& path);
 
   /// Materialize-then-merge scan (the pre-streaming read path), selected by
   /// read_path_flags().streaming_scan = false for bench_read A/B runs and
@@ -131,7 +131,7 @@ class Region {
   std::atomic<std::uint64_t> epoch_{0};
   const EpochRegistry* epochs_ = nullptr;
 
-  mutable Mutex mutex_{LockRank::kRegion, "region"};
+  mutable RankedMutex<LockRank::kRegion> mutex_{"region"};
   Memstore memstore_ TFR_GUARDED_BY(mutex_);
   std::vector<std::shared_ptr<StoreFileReader>> files_ TFR_GUARDED_BY(mutex_);  // newest first
   std::uint64_t next_file_id_ TFR_GUARDED_BY(mutex_) = 0;

@@ -61,6 +61,9 @@ Status RegionServer::shutdown() {
   {
     ReaderLock lock(regions_mutex_);
     for (auto& [name, region] : regions_) {
+      // tfr-lint: blocking-ok(shutdown holds the directory read-lock across final
+      // flushes so a concurrent split cannot move regions mid-drain; kRegionServer
+      // is may_block=true in the rank table)
       TFR_RETURN_IF_ERROR(region->flush_memstore());
       region->set_state(RegionState::kOffline);
     }
@@ -73,7 +76,8 @@ Status RegionServer::shutdown() {
     hook = pre_heartbeat_hook_;
   }
   const Timestamp payload = hook ? hook() : 0;
-  (void)coord_->heartbeat("servers", id_, payload);
+  TFR_IGNORE_STATUS(coord_->heartbeat("servers", id_, payload),
+                    "best-effort final progress report; close_session below unregisters");
   TFR_RETURN_IF_ERROR(coord_->close_session("servers", id_));
   TFR_LOG(INFO, "rs") << id_ << " shut down cleanly";
   return Status::ok();
@@ -158,7 +162,28 @@ void RegionServer::self_fence() {
 
 void RegionServer::wal_sync_tick() {
   if (!alive()) return;
-  (void)wal_->sync();
+  if (Status s = wal_->sync(); !s.is_ok()) {
+    // A background sync failure is a durability regression, not a no-op:
+    // acks already sent for this window rest on data that is not yet on
+    // disk. Count and log every failure; the next tick (or the next
+    // commit-path sync) retries the same frontier.
+    static Counter& failures = global_counter("kv.wal_sync_failures");
+    failures.add();
+    TFR_LOG(WARN, "rs") << id_ << " background WAL sync failed: " << s;
+    if (s.is_wrong_epoch()) {
+      // The master fenced our WAL: recovery is replaying it and we are a
+      // zombie. Converge like the TTL-expiry path — stop serving now rather
+      // than keep acking writes that can never become durable. crash()
+      // joins the syncer thread (this thread), so delegate to the
+      // terminator.
+      TFR_LOG(WARN, "rs") << id_ << " WAL fenced during background sync; ceasing service";
+      MutexLock lock(terminator_mutex_);
+      if (!self_terminator_.joinable()) {
+        self_terminator_ = std::thread([this] { crash(); });
+      }
+      return;
+    }
+  }
   maybe_roll_wal();
 }
 
@@ -182,7 +207,7 @@ void RegionServer::maybe_roll_wal() {
       return;
     }
   }
-  (void)wal_->truncate_obsolete(wal_truncation_bound());
+  wal_->truncate_obsolete(wal_truncation_bound());
 }
 
 std::shared_ptr<Region> RegionServer::region_for(const std::string& table,
@@ -196,6 +221,7 @@ std::shared_ptr<Region> RegionServer::region_for(const std::string& table,
 }
 
 Status RegionServer::apply_writeset(const ApplyRequest& request) {
+  TFR_BLOCKING_POINT("rpc.apply");
   // Marshal the request exactly as a real RPC stack would: the server only
   // ever sees the decoded wire bytes, and their size is charged against the
   // network bandwidth on top of the per-RPC latency.
@@ -254,6 +280,7 @@ Result<std::vector<Status>> RegionServer::apply_batch(const BatchApplyRequest& b
   // sender for partition purposes.
   const std::string& client_id = batch.slices.front().client_id;
 
+  TFR_BLOCKING_POINT("rpc.apply_batch");
   std::string wire = encode_batch_apply_request(batch);
   rpc_model_.charge();
   sleep_micros(transfer_micros(wire.size(), config_.network_mbps));
@@ -381,6 +408,7 @@ Status RegionServer::apply_decoded(const ApplyRequest& req) {
 Result<std::optional<Cell>> RegionServer::get(const std::string& table, const std::string& row,
                                               const std::string& column, Timestamp read_ts,
                                               const std::string& caller) {
+  TFR_BLOCKING_POINT("rpc.get");
   rpc_model_.charge();
   sleep_micros(transfer_micros(get_request_wire_size(table, row, column), config_.network_mbps));
   if (fault_ != nullptr) {
@@ -411,6 +439,7 @@ Result<std::optional<Cell>> RegionServer::get(const std::string& table, const st
 Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std::string& start,
                                              const std::string& end, Timestamp read_ts,
                                              std::size_t limit, const std::string& caller) {
+  TFR_BLOCKING_POINT("rpc.scan");
   rpc_model_.charge();
   if (fault_ != nullptr) {
     TFR_RETURN_IF_ERROR(fault_->check_partition(FaultOp::kRpcScan, caller, id_));
@@ -575,6 +604,7 @@ Status RegionServer::close_region(const std::string& region_name) {
 }
 
 Status RegionServer::persist_wal() {
+  TFR_BLOCKING_POINT("rpc.persist_wal");
   if (!alive()) return Status::unavailable("server down: " + id_);
   return wal_->sync();
 }

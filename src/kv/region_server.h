@@ -138,7 +138,7 @@ class RegionServer {
   /// Receive a write-set slice (Algorithm 3 "On receive"): append to the WAL
   /// (possibly syncing, per mode), apply to the memstores of the covered
   /// regions, notify the write-set observer, and return.
-  Status apply_writeset(const ApplyRequest& req);
+  TFR_BLOCKING Status apply_writeset(const ApplyRequest& req);
 
   /// Receive a batch of write-set slices in one RPC: one network round-trip
   /// and one handler slot for the whole frame, then each slice runs the
@@ -146,15 +146,15 @@ class RegionServer {
   /// Status per slice (same order); a transport-level error (partition,
   /// injected loss, frame corruption, dropped ack) fails the whole batch as
   /// Unavailable and the client re-sends — reapplication is idempotent.
-  Result<std::vector<Status>> apply_batch(const BatchApplyRequest& batch);
+  TFR_BLOCKING Result<std::vector<Status>> apply_batch(const BatchApplyRequest& batch);
 
   /// `caller` (when non-empty) is the requesting node's id, matched against
   /// partition rules (see common/fault.h).
-  Result<std::optional<Cell>> get(const std::string& table, const std::string& row,
+  TFR_BLOCKING Result<std::optional<Cell>> get(const std::string& table, const std::string& row,
                                   const std::string& column, Timestamp read_ts,
                                   const std::string& caller = {});
 
-  Result<std::vector<Cell>> scan(const std::string& table, const std::string& start,
+  TFR_BLOCKING Result<std::vector<Cell>> scan(const std::string& table, const std::string& start,
                                  const std::string& end, Timestamp read_ts, std::size_t limit,
                                  const std::string& caller = {});
 
@@ -169,7 +169,7 @@ class RegionServer {
   Status close_region(const std::string& region_name);
 
   /// Sync the WAL to the DFS — the "persist" step of Algorithm 3.
-  Status persist_wal();
+  TFR_BLOCKING Status persist_wal();
 
   /// Roll the WAL if the open segment is over the size threshold, then
   /// reclaim segments made obsolete by memstore flushes. Runs periodically;
@@ -226,13 +226,21 @@ class RegionServer {
   /// Force one heartbeat now (tests use this instead of waiting).
   void heartbeat_now() { heartbeat_tick(); }
 
+  /// Force one background WAL-sync tick now (tests use this instead of
+  /// waiting out wal_sync_interval).
+  void wal_sync_now() { wal_sync_tick(); }
+
   /// Change the heartbeat interval at runtime (the Figure 2(b) sweep). The
-  /// failure-detection window scales with it (TTL = 3 intervals).
-  void set_heartbeat_interval(Micros interval) {
-    (void)coord_->update_ttl("servers", id_, interval * 3);
+  /// failure-detection window scales with it (TTL = 3 intervals). Fails if
+  /// the coord session is already expired or closed: silently continuing
+  /// would leave the server heartbeating at the new cadence against a dead
+  /// session, i.e. a zombie with a mis-sized failure-detection window.
+  Status set_heartbeat_interval(Micros interval) {
+    TFR_RETURN_IF_ERROR(coord_->update_ttl("servers", id_, interval * 3));
     session_ttl_.store(interval * 3, std::memory_order_release);
     heartbeats_.set_interval(interval);
     heartbeat_now();
+    return Status::ok();
   }
 
  private:
@@ -270,10 +278,10 @@ class RegionServer {
   LatencyModel read_service_;
   LatencyModel write_service_;
 
-  mutable SharedMutex regions_mutex_{LockRank::kRegionServer, "region_server.regions"};
+  mutable RankedSharedMutex<LockRank::kRegionServer> regions_mutex_{"region_server.regions"};
   std::map<std::string, std::shared_ptr<Region>> regions_ TFR_GUARDED_BY(regions_mutex_);
 
-  Mutex hooks_mutex_{LockRank::kServerHooks, "region_server.hooks"};
+  RankedMutex<LockRank::kServerHooks> hooks_mutex_{"region_server.hooks"};
   WritesetObserver writeset_observer_ TFR_GUARDED_BY(hooks_mutex_);
   PreHeartbeatHook pre_heartbeat_hook_ TFR_GUARDED_BY(hooks_mutex_);
   RegionGate region_gate_ TFR_GUARDED_BY(hooks_mutex_);
@@ -281,7 +289,7 @@ class RegionServer {
   PeriodicTask wal_syncer_;
   PeriodicTask heartbeats_;
 
-  Mutex terminator_mutex_{LockRank::kClientLifecycle, "region_server.terminator"};
+  RankedMutex<LockRank::kClientLifecycle> terminator_mutex_{"region_server.terminator"};
   std::thread self_terminator_ TFR_GUARDED_BY(terminator_mutex_);  // runs crash() when declared dead
 };
 

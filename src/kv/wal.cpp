@@ -97,17 +97,22 @@ Result<std::uint64_t> Wal::append(WalRecord record) {
 }
 
 Status Wal::sync() {
-  MutexLock sync_lock(sync_mutex_);
+  TFR_BLOCKING_POINT("wal.sync");
+  RankedMutexLock sync_lock(sync_mutex_);
   // Capture the frontier and the open segment before syncing: everything
-  // appended before this point is covered by the DFS sync below.
+  // appended before this point is covered by the DFS sync below. The nested
+  // acquisition passes sync_lock's token, which static_asserts the
+  // kWal < kWalSync rank edge at compile time.
   std::string open_path;
   std::uint64_t frontier = 0;
   {
-    MutexLock lock(mutex_);
+    RankedMutexLock lock(mutex_, sync_lock.token());
     open_path = segments_.back().path;
     frontier = next_seq_.load(std::memory_order_acquire) - 1;
   }
   if (frontier <= synced_seq_.load(std::memory_order_acquire)) return Status::ok();
+  // tfr-lint: blocking-ok(kWalSync exists precisely to serialize this durable
+  // write; holding it across dfs_->sync is the design, may_block=true)
   auto synced = dfs_->sync(open_path);
   if (!synced.is_ok()) return synced.status();
   std::uint64_t prev = synced_seq_.load(std::memory_order_relaxed);

@@ -73,7 +73,7 @@ class Wal {
   /// current segment; closed segments are already durable). This is what
   /// Algorithm 3's persist step and the synchronous-persistence mode of
   /// Figure 2(a) call.
-  Status sync();
+  TFR_BLOCKING Status sync();
 
   /// Close the current segment (sync it) and open a fresh one. HBase rolls
   /// when a segment exceeds a size threshold so old segments can later be
@@ -144,14 +144,14 @@ class Wal {
   std::atomic<std::uint64_t> synced_seq_{0};
 
   // Guards segments_ and appends (record framing).
-  mutable Mutex mutex_{LockRank::kWal, "wal"};
+  mutable RankedMutex<LockRank::kWal> mutex_{"wal"};
   std::vector<Segment> segments_ TFR_GUARDED_BY(mutex_);  // back() is the open segment
   std::uint64_t next_segment_index_ TFR_GUARDED_BY(mutex_) = 1;
   std::uint64_t rolls_ TFR_GUARDED_BY(mutex_) = 0;
   std::uint64_t truncated_ TFR_GUARDED_BY(mutex_) = 0;
 
   // Serializes syncs; appends proceed concurrently. Outer of mutex_.
-  Mutex sync_mutex_{LockRank::kWalSync, "wal_sync"};
+  RankedMutex<LockRank::kWalSync> sync_mutex_{"wal_sync"};
   std::atomic<std::uint64_t> sync_count_{0};
 };
 

@@ -62,7 +62,7 @@ class FlushTracker {
   // Serializes concurrent advance() calls (the heartbeat task and
   // wait_flushed() both call it); without it two racing advances can pop
   // mismatched queue heads and publish a regressing TF(c).
-  Mutex advance_mutex_{LockRank::kRecoveryTracker, "flush_tracker.advance"};
+  RankedMutex<LockRank::kRecoveryTracker> advance_mutex_{"flush_tracker.advance"};
   SyncedMinQueue<Timestamp> fq_;          // committed, in commit order
   SyncedMinQueue<Timestamp> fq_flushed_;  // flushed
   std::atomic<Timestamp> tf_;

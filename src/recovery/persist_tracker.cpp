@@ -51,6 +51,9 @@ Timestamp PersistTracker::heartbeat_payload() {
     // Nothing new to learn; still report the (possibly inherited) TP.
     return tp_;
   }
+  // tfr-lint: blocking-ok(Algorithm 3 probe-and-publish: the tracker mutex must
+  // be held across the sync so a concurrent inheritance serializes with the
+  // TP advance; kRecoveryTracker is may_block=true in the rank table)
   Status synced = server_->persist_wal();
   if (!synced.is_ok()) {
     TFR_LOG(WARN, "tracker") << server_->id() << " persist failed: " << synced;

@@ -67,7 +67,7 @@ class PersistTracker {
   // Serializes the persist-and-advance step against threshold inheritance;
   // see the interleaving argument in persist_tracker.cpp. Deliberately held
   // across Wal::sync, hence ranked above kWalSync.
-  mutable Mutex mutex_{LockRank::kRecoveryTracker, "persist_tracker"};
+  mutable RankedMutex<LockRank::kRecoveryTracker> mutex_{"persist_tracker"};
   Timestamp tp_ TFR_GUARDED_BY(mutex_);
   SyncedMinQueue<Timestamp> pq_;  // received, in commit order
 };

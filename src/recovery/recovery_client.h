@@ -41,7 +41,7 @@ class RecoveryClient {
 
  private:
   KvClient kv_;
-  mutable Mutex mutex_{LockRank::kRecoveryTracker, "recovery_client"};
+  mutable RankedMutex<LockRank::kRecoveryTracker> mutex_{"recovery_client"};
   RecoveryClientStats stats_ TFR_GUARDED_BY(mutex_);
 };
 

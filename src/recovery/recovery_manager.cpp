@@ -216,7 +216,7 @@ void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
   if (!expired) {
     // Clean unregister: drop the client from TF maintenance (§3.1).
     MutexLock lock(mutex_);
-    (void)client_tf_.erase(info.name);
+    client_tf_.erase(info.name);
     coord_->erase(kClientRegistryPrefix + info.name);
     publish_locked();
     return;
@@ -231,7 +231,7 @@ void RecoveryManager::on_client_session(const SessionInfo& info, bool expired) {
     // unflushed work). The durable marker lets an RM that restarts
     // mid-replay resume from the same floor.
     client_recovery_floor_[info.name] = info.payload;
-    (void)client_tf_.erase(info.name);
+    client_tf_.erase(info.name);
     coord_->put(kRecoveringClientPrefix + info.name, info.payload);
     coord_->erase(kClientRegistryPrefix + info.name);
     ++stats_.client_recoveries;
@@ -277,7 +277,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
     // Clean shutdown: the server flushed and synced everything it had, and
     // its final heartbeat reported an up-to-date TP(s).
     MutexLock lock(mutex_);
-    (void)server_tp_.erase(info.name);
+    server_tp_.erase(info.name);
     failed_servers_.erase(info.name);
     publish_locked();
     return;
@@ -291,7 +291,7 @@ void RecoveryManager::on_server_session(const SessionInfo& info, bool expired) {
   // may have resurrected; this expiry is the session's final event.
   MutexLock lock(mutex_);
   if (failed_servers_.erase(info.name) > 0) {
-    (void)server_tp_.erase(info.name);
+    server_tp_.erase(info.name);
     publish_locked();
     return;
   }
@@ -304,7 +304,7 @@ void RecoveryManager::on_server_failure(const std::string& server_id,
   Timestamp tpr = published_tp_.load(std::memory_order_relaxed);  // conservative fallback
   if (auto tps = server_tp_.get(server_id)) {
     tpr = *tps;
-    (void)server_tp_.erase(server_id);
+    server_tp_.erase(server_id);
   }
   // If the master detected this death early (failed open_region), the dead
   // server's session may still be ticking down. Keep the erase effective

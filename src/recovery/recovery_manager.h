@@ -161,7 +161,7 @@ class RecoveryManager : public MasterHooks {
   RecoveryManagerConfig config_;
   RecoveryClient recovery_client_;
 
-  mutable Mutex mutex_{LockRank::kRecoveryManager, "recovery_manager"};
+  mutable RankedMutex<LockRank::kRecoveryManager> mutex_{"recovery_manager"};
   mutable CondVar idle_cv_;
   /// Registries C and S (Algorithms 2/4), striped so per-component updates
   /// and the min aggregation don't serialize on one mutex. Internally

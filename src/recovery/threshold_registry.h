@@ -76,7 +76,7 @@ class ShardedThresholdRegistry {
 
  private:
   struct Stripe {
-    mutable Mutex mutex{LockRank::kThresholdRegistry, "threshold_registry"};
+    mutable RankedMutex<LockRank::kThresholdRegistry> mutex{"threshold_registry"};
     std::map<std::string, Timestamp> entries TFR_GUARDED_BY(mutex);
     /// Stripe-local minimum, re-published under the stripe mutex after
     /// every mutation that can change it; kMaxTimestamp when empty.

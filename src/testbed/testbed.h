@@ -129,7 +129,7 @@ class Testbed {
   /// rm_->stop() must complete BEFORE the exclusive lock is requested — a
   /// gate blocked inside on_region_recovered holds the shared lock for the
   /// whole replay.
-  mutable SharedMutex rm_mutex_{LockRank::kHarness, "testbed.rm"};
+  mutable RankedSharedMutex<LockRank::kHarness> rm_mutex_{"testbed.rm"};
   std::unique_ptr<RecoveryManager> rm_;
   std::vector<std::unique_ptr<PersistTracker>> trackers_;
   std::vector<std::unique_ptr<TxnClient>> clients_;

@@ -44,6 +44,7 @@ TxnLog::~TxnLog() {
 }
 
 Status TxnLog::append(WriteSet ws) {
+  TFR_BLOCKING_POINT("txn_log.append");
   if (ws.commit_ts == kNoTimestamp) {
     return Status::invalid_argument("write-set has no commit timestamp");
   }

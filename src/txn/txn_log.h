@@ -107,7 +107,7 @@ class TxnLog {
 
   /// Append a committed write-set; blocks until it is durable (group
   /// commit). `ws.commit_ts` must be set and unique.
-  Status append(WriteSet ws);
+  TFR_BLOCKING Status append(WriteSet ws);
 
   /// All durable write-sets with commit_ts > after_ts (and above the
   /// truncation floor), in commit order.
@@ -179,7 +179,7 @@ class TxnLog {
 
   TxnLogConfig config_;
 
-  mutable Mutex mutex_{LockRank::kTxnLog, "txn_log"};  // queues + segments + stats
+  mutable RankedMutex<LockRank::kTxnLog> mutex_{"txn_log"};  // queues + segments + stats
   CondVar done_cv_;  // clients wait for durability
   bool stop_ TFR_GUARDED_BY(mutex_) = false;
   TxnLogStats stats_ TFR_GUARDED_BY(mutex_);

@@ -88,7 +88,7 @@ class TxnManager {
 
   TxnLog log_;
 
-  mutable Mutex mutex_{LockRank::kTxnManager, "txn_manager"};  // oracle + conflicts + active
+  mutable RankedMutex<LockRank::kTxnManager> mutex_{"txn_manager"};  // oracle + conflicts + active
   Timestamp last_ts_ TFR_GUARDED_BY(mutex_) = kNoTimestamp;
   std::unordered_map<std::string, Timestamp> last_writer_
       TFR_GUARDED_BY(mutex_);  // table\x1f row -> commit ts

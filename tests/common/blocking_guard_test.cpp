@@ -1,0 +1,120 @@
+// Tests for the runtime blocking-under-lock hook (annotations.h Layer 4)
+// and the generated-table assertion in the rank validator. The violation
+// paths abort, so they run as gtest death tests.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/annotations.h"
+#include "src/common/clock.h"
+
+namespace tfr {
+namespace {
+
+#if TFR_LOCK_RANK
+
+using BlockingGuardDeathTest = ::testing::Test;
+
+TEST(BlockingGuardDeathTest, BlockingUnderNoBlockRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // kQueue is may_block=false in the generated table: parking a thread that
+  // holds a queue lock stalls every producer/consumer behind it.
+  RankedMutex<LockRank::kQueue> mu{"canary_queue"};
+  EXPECT_DEATH(
+      {
+        RankedMutexLock lock(mu);
+        sleep_micros(10);
+      },
+      "blocking-under-lock violation");
+}
+
+TEST(BlockingGuardDeathTest, ExplicitBlockingPointAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The hook fires on the annotation itself, not just on real sleeps — a
+  // zero-latency configuration must not hide the discipline break.
+  RankedMutex<LockRank::kCoord> mu{"canary_coord"};
+  EXPECT_DEATH(
+      {
+        RankedMutexLock lock(mu);
+        TFR_BLOCKING_POINT("test.blocking_op");
+      },
+      "blocking-under-lock violation");
+}
+
+TEST(BlockingGuardDeathTest, CondVarWaitHoldingForeignNoBlockLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Waiting on a condvar releases its own mutex but keeps every other held
+  // lock; holding a no-blocking lock (kQueue) across someone else's wait is
+  // the same stall as sleeping with it.
+  RankedMutex<LockRank::kQueue> held{"canary_held_queue"};
+  RankedMutex<LockRank::kThreadingInternal> waited{"canary_waited"};
+  CondVar cv;
+  EXPECT_DEATH(
+      {
+        RankedMutexLock outer(held);
+        MutexLock lock(waited);
+        cv.wait_for(lock, /*micros=*/1000);
+      },
+      "blocking-under-lock violation");
+}
+
+TEST(BlockingGuardTest, BlockingUnderMayBlockRankIsAllowed) {
+  // kRegion is may_block=true: flush/compact hold the region lock across
+  // DFS writes by design. The hook must not fire.
+  RankedMutex<LockRank::kRegion> mu{"ok_region"};
+  RankedMutexLock lock(mu);
+  TFR_BLOCKING_POINT("test.blocking_op");
+  sleep_micros(1);
+}
+
+TEST(BlockingGuardTest, ScopedBlockingAllowedSuppresses) {
+  // The documented escape hatch: a site that argues its case in a comment
+  // wraps the call in ScopedBlockingAllowed, scoped as tightly as the call.
+  RankedMutex<LockRank::kQueue> mu{"escape_queue"};
+  RankedMutexLock lock(mu);
+  {
+    ScopedBlockingAllowed allow("test: proving the escape hatch works");
+    TFR_BLOCKING_POINT("test.blocking_op");
+    sleep_micros(1);
+  }
+}
+
+TEST(BlockingGuardTest, SuppressionEndsWithScope) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RankedMutex<LockRank::kQueue> mu{"rearm_queue"};
+  EXPECT_DEATH(
+      {
+        RankedMutexLock lock(mu);
+        { ScopedBlockingAllowed allow("test: expires with this scope"); }
+        TFR_BLOCKING_POINT("test.blocking_op");  // allowance is gone
+      },
+      "blocking-under-lock violation");
+}
+
+TEST(BlockingGuardTest, CondVarWaitOnOwnNoBlockMutexIsAllowed) {
+  // A queue's own condvar wait releases the queue lock: that is the normal
+  // producer/consumer pattern and must stay legal.
+  RankedMutex<LockRank::kQueue> mu{"own_wait_queue"};
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.wait_for(lock, /*micros=*/1000));
+}
+
+TEST(BlockingGuardTest, BlockingWithNoLocksHeldIsAllowed) {
+  EXPECT_EQ(lockrank::held_lock_count(), 0u);
+  TFR_BLOCKING_POINT("test.blocking_op");
+  sleep_micros(1);
+}
+
+TEST(BlockingGuardDeathTest, UnknownRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The runtime validator is the dynamic backstop of the generated table:
+  // a mutex constructed with an ad-hoc rank value aborts on first acquire.
+  Mutex bad{static_cast<LockRank>(42), "ad_hoc_rank"};
+  EXPECT_DEATH({ MutexLock lock(bad); }, "rank not in the generated table");
+}
+
+#endif  // TFR_LOCK_RANK
+
+}  // namespace
+}  // namespace tfr

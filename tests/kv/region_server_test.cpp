@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/fault.h"
+#include "src/common/metrics.h"
+
 namespace tfr {
 namespace {
 
@@ -192,6 +195,64 @@ TEST_F(RegionServerTest, ScanAcrossMemstoreAndFiles) {
   ASSERT_EQ(cells.size(), 4u);
   EXPECT_EQ(cells[2].row, "c");
   EXPECT_EQ(cells[2].value, "v6");
+}
+
+// Regression for the swallowed-error bug in the background WAL syncer: a
+// failed sync() must be counted and logged, and the server must stay alive
+// and retry the same frontier on the next tick (a transient DFS error is a
+// durability regression, not a reason to die).
+TEST_F(RegionServerTest, BackgroundWalSyncFailureIsCountedAndRetried) {
+  ASSERT_TRUE(server_.apply_writeset(make_request(5, {"r1"})).is_ok());
+  ASSERT_EQ(server_.wal().synced_seq(), 0u);  // async mode: nothing durable yet
+
+  FaultInjector fault;
+  FaultRule rule;
+  rule.op = FaultOp::kDfsSync;
+  rule.target = "/wal/";
+  rule.error_probability = 1.0;
+  fault.add_rule(rule);
+  fault.set_enabled(true);
+  dfs_.set_fault_injector(&fault);
+
+  const std::int64_t before = global_counter("kv.wal_sync_failures").get();
+  server_.wal_sync_now();
+  EXPECT_EQ(global_counter("kv.wal_sync_failures").get(), before + 1);
+  EXPECT_TRUE(server_.alive());               // transient failure: keep serving
+  EXPECT_EQ(server_.wal().synced_seq(), 0u);  // the ack-durability gap persists
+
+  // Heal the DFS: the next tick must retry and close the gap.
+  dfs_.set_fault_injector(nullptr);
+  server_.wal_sync_now();
+  EXPECT_EQ(server_.wal().synced_seq(), 1u);
+  EXPECT_TRUE(server_.alive());
+}
+
+// Regression for the other half of the same bug: a WrongEpoch from the
+// background sync means the master fenced our WAL and recovery owns it —
+// the server must converge to not-alive instead of acking writes that can
+// never become durable.
+TEST_F(RegionServerTest, BackgroundWalSyncFencedStopsService) {
+  ASSERT_TRUE(server_.apply_writeset(make_request(5, {"r1"})).is_ok());
+  dfs_.fence_prefix("/wal/rs1.log");
+
+  const std::int64_t before = global_counter("kv.wal_sync_failures").get();
+  server_.wal_sync_now();
+  EXPECT_EQ(global_counter("kv.wal_sync_failures").get(), before + 1);
+
+  // crash() runs on the delegated terminator thread; wait for convergence.
+  const Micros deadline = now_micros() + seconds(5);
+  while (server_.alive() && now_micros() < deadline) sleep_millis(2);
+  EXPECT_FALSE(server_.alive());
+}
+
+// Regression for set_heartbeat_interval silently ignoring the coord
+// update_ttl result: resizing the failure-detection window of a dead
+// session must fail loudly, not leave a zombie heartbeating at the new
+// cadence.
+TEST_F(RegionServerTest, SetHeartbeatIntervalFailsWithoutLiveSession) {
+  EXPECT_TRUE(server_.set_heartbeat_interval(seconds(20)).is_ok());
+  ASSERT_TRUE(coord_.close_session("servers", "rs1").is_ok());
+  EXPECT_FALSE(server_.set_heartbeat_interval(seconds(5)).is_ok());
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+// COMPILES FINE but MUST be flagged by the blocking-call-under-lock static
+// pass (scripts/check_blocking.py, or the clang-query script when clang is
+// installed): a modeled sleep while a lock guard is live, with no
+// `tfr-lint: blocking-ok(...)` justification.
+#include "src/common/annotations.h"
+#include "src/common/clock.h"
+
+namespace {
+
+tfr::RankedMutex<tfr::LockRank::kBlockCache> g_mu{"block_cache"};
+
+void sleepy_critical_section() {
+  tfr::RankedMutexLock lock(g_mu);
+  tfr::sleep_micros(100);  // <-- blocking under a no-blocking-rank lock
+}
+
+}  // namespace
+
+int fixture_main() {
+  sleepy_critical_section();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Control fixture: MUST compile clean and produce zero lint findings. Uses
+// every construct the gates police, in its sanctioned form — if a gate
+// starts rejecting this file, the gate broke, not the tree.
+#include "src/common/annotations.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace {
+
+tfr::RankedMutex<tfr::LockRank::kWalSync> g_outer{"wal_sync"};
+tfr::RankedMutex<tfr::LockRank::kWal> g_inner{"wal"};
+
+tfr::Status do_io() { return tfr::Status::ok(); }
+
+void correct_nesting_and_discard() {
+  tfr::RankedMutexLock outer(g_outer);
+  tfr::RankedMutexLock inner(g_inner, outer.token());  // descending: 140 -> 130
+  TFR_IGNORE_STATUS(do_io(), "fixture: a justified best-effort call");
+}
+
+void blocking_outside_the_lock() {
+  {
+    tfr::RankedMutexLock lock(g_inner);
+  }
+  tfr::sleep_micros(1);  // no guard live here
+}
+
+}  // namespace
+
+int fixture_main() {
+  correct_nesting_and_discard();
+  blocking_outside_the_lock();
+  return 0;
+}

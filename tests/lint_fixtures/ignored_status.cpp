@@ -1,0 +1,15 @@
+// MUST NOT COMPILE under the default build flags (-Werror=unused-result):
+// dropping a [[nodiscard]] tfr::Status on the floor. The sanctioned forms
+// are handling it, propagating it, or TFR_IGNORE_STATUS(expr, "why").
+#include "src/common/status.h"
+
+namespace {
+
+tfr::Status do_io() { return tfr::Status::unavailable("transient"); }
+
+}  // namespace
+
+int fixture_main() {
+  do_io();  // <-- discarded Status: the build must reject this line
+  return 0;
+}

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE: a lexically-nested lock acquisition that inverts the
+// rank order. The inner RankedMutexLock takes the outer lock's
+// AcquireToken, and the static_assert in annotations.h requires the nested
+// mutex's rank to be strictly lower — here it is higher (kWalSync over
+// kWal), which deadlocks against the real Wal::sync ordering.
+#include "src/common/annotations.h"
+
+namespace {
+
+tfr::RankedMutex<tfr::LockRank::kWal> g_inner{"wal"};
+tfr::RankedMutex<tfr::LockRank::kWalSync> g_outer{"wal_sync"};
+
+void inverted() {
+  tfr::RankedMutexLock inner(g_inner);
+  // <-- rank inversion: acquiring kWalSync (140) while holding kWal (130)
+  tfr::RankedMutexLock outer(g_outer, inner.token());
+}
+
+}  // namespace
+
+int fixture_main() {
+  inverted();
+  return 0;
+}
