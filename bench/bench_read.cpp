@@ -72,7 +72,7 @@ class ReadBench {
         cells.push_back(Cell{row_key(i), "field0", value,
                              static_cast<Timestamp>(f + 1), false});
       }
-      region_.apply(cells);
+      if (!region_.apply(cells)) return Status::unavailable("load apply rejected");
       TFR_RETURN_IF_ERROR(region_.flush_memstore());
     }
     return Status::ok();

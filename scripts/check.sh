@@ -9,6 +9,7 @@
 #   scripts/check.sh sanitize            # ASan+UBSan build + full ctest
 #   scripts/check.sh soak-partition      # 10-seed zombie-server partition soak
 #   scripts/check.sh soak-recovery       # 20-seed cascading-failure soak
+#   scripts/check.sh soak-split          # 20-seed topology-churn soak
 #   scripts/check.sh bench-smoke         # ~5 s bench_commit A/B smoke run
 #   TFR_SANITIZE=address scripts/check.sh
 #   TFR_SANITIZE=thread  scripts/check.sh
@@ -111,6 +112,28 @@ case "$MODE" in
     echo "soak-recovery OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
     exit 0
     ;;
+  soak-split)
+    # The dynamic-topology acceptance soak: the balancer splits, merges and
+    # moves regions while servers crash-fail and gray failures inject, across
+    # many seeds (TFR_SPLIT_SEEDS, default 20; ctest runs only a few). With
+    # TFR_CXX pointing at clang, the soak runs under TSan so the balancer
+    # tick, the topology hooks, and the daughter gates get raced as well as
+    # asserted.
+    SEEDS="${TFR_SPLIT_SEEDS:-20}"
+    if compiler_is_clang; then
+      BUILD_DIR="build-tsan-$(basename "$CXX" | tr -d +)"
+      cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER="$CXX" \
+        -DCMAKE_BUILD_TYPE=Debug -DTFR_SANITIZE=thread
+    else
+      BUILD_DIR=build
+      cmake -B "$BUILD_DIR" -S .
+    fi
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target integration_tests
+    TFR_SPLIT_SEEDS="$SEEDS" "$BUILD_DIR/tests/integration_tests" \
+      --gtest_filter='Seeds/SplitSoakTest.*'
+    echo "soak-split OK ($SEEDS seeds$(compiler_is_clang && echo ", TSan under $CXX"))"
+    exit 0
+    ;;
   bench-smoke)
     # Quick end-to-end exercise of the A/B hot-path benches: a few seconds
     # each at a tiny TFR_BENCH_SCALE, checking only that all modes run and
@@ -118,8 +141,8 @@ case "$MODE" in
     # full-scale run (scripts/run_benches.sh), not this.
     BUILD_DIR=build
     cmake -B "$BUILD_DIR" -S .
-    cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_commit bench_read
-    rm -f BENCH_commit.json BENCH_read.json
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_commit bench_read bench_split
+    rm -f BENCH_commit.json BENCH_read.json BENCH_split.json
     TFR_BENCH_SCALE="${TFR_BENCH_SCALE:-0.02}" "$BUILD_DIR/bench/bench_commit"
     if [ ! -f BENCH_commit.json ]; then
       echo "bench-smoke: bench_commit did not write BENCH_commit.json" >&2
@@ -130,12 +153,17 @@ case "$MODE" in
       echo "bench-smoke: bench_read did not write BENCH_read.json" >&2
       exit 1
     fi
-    echo "bench-smoke OK (BENCH_commit.json, BENCH_read.json written)"
+    TFR_BENCH_SCALE="${TFR_BENCH_SCALE:-0.02}" "$BUILD_DIR/bench/bench_split"
+    if [ ! -f BENCH_split.json ]; then
+      echo "bench-smoke: bench_split did not write BENCH_split.json" >&2
+      exit 1
+    fi
+    echo "bench-smoke OK (BENCH_commit.json, BENCH_read.json, BENCH_split.json written)"
     exit 0
     ;;
   test) ;;
   *)
-    echo "unknown subcommand '$MODE' (use: analyze, lint, sanitize, soak-partition, soak-recovery, bench-smoke, or no argument)" >&2
+    echo "unknown subcommand '$MODE' (use: analyze, lint, sanitize, soak-partition, soak-recovery, soak-split, bench-smoke, or no argument)" >&2
     exit 2
     ;;
 esac

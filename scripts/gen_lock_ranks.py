@@ -38,6 +38,10 @@ DESIGN = os.path.join(ROOT, "DESIGN.md")
 # (lockrank::on_blocking_call) aborts the process if it happens — these are
 # the hot leaf locks where an RPC underneath would stall every peer.
 RANKS = [
+    ("kBalancer", 220, "master.balancer", True, "master balancer loop (§9)",
+     "master, region server ops, harness gate (daughter opens)",
+     "a balancer tick is one serialized topology transaction: it holds the "
+     "tick lock across split/merge/move RPCs including gated daughter opens"),
     ("kHarness", 210, "testbed.rm", True, "test harness",
      "RM (gated RPC + restart swap)",
      "held across whole gated replays by construction of the harness"),
@@ -100,6 +104,9 @@ RANKS = [
     ("kQueue", 50, "blocking_queue, synced_min_queue", False,
      "FQ/FQ' / PQ carriers", "leaf",
      "waiting on the queue's own CondVar is fine; foreign blocking is not"),
+    ("kClientRouting", 45, "kv_client.routes", False,
+     "client routing-table cache (§2.1)", "leaf",
+     "cache probe/insert only; master locate RPCs run with it released"),
     ("kThreadingInternal", 40, "periodic_task, semaphore, countdown_latch",
      False, "heartbeats, handler pools", "leaf",
      "waiting on the primitive's own CondVar is fine; foreign blocking is not"),

@@ -26,8 +26,9 @@ while read -r kind seed _; do
     chaos) filter='Seeds/ChaosSoakTest.CommittedTransactionsSurviveGrayFailuresAndCrashes/0' ;;
     zombie) filter='Seeds/ZombiePartitionTest.FencedTakeoverLeavesNoStaleWritesVisible/0' ;;
     cascade) filter='Seeds/CascadeSoakTest.SecondFailureDuringRecoveryNeverLosesGcdWriteSets/0' ;;
+    split) filter='Seeds/SplitSoakTest.TopologyChurnDuringFailuresKeepsInvariants/0' ;;
     *)
-      echo "replay_seed_corpus: unknown kind '$kind' in $CORPUS (use chaos|zombie|cascade)" >&2
+      echo "replay_seed_corpus: unknown kind '$kind' in $CORPUS (use chaos|zombie|cascade|split)" >&2
       exit 2
       ;;
   esac

@@ -63,7 +63,7 @@ done
 # Results the suite is REQUIRED to produce: a bench that silently stopped
 # writing its JSON would otherwise just thin out the history. Must have been
 # refreshed by this run, not left over from an old one.
-for required in BENCH_recovery.json BENCH_failover.json; do
+for required in BENCH_recovery.json BENCH_failover.json BENCH_split.json; do
   if [ ! -f "$required" ] || [ ! "$required" -nt "$STAMP" ]; then
     echo "run_benches: required result '$required' was not produced by this run" >&2
     exit 1

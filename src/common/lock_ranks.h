@@ -24,6 +24,7 @@ namespace tfr {
 // log emit lock) the lowest. See DESIGN.md "Lock ranks" for the rationale
 // behind every edge.
 enum class LockRank : int {
+  kBalancer = 220,          // master.balancer: master balancer loop (§9)
   kHarness = 210,           // testbed.rm: test harness
   kRecoveryManager = 200,   // recovery_manager: RM orchestration, floors, PQ (Alg. 1+3)
   kThresholdRegistry = 195, // threshold_registry: registry C / S stripes (Alg. 2+4, §7a)
@@ -43,6 +44,7 @@ enum class LockRank : int {
   kFaultInjector = 60,      // fault_injector: deterministic fault injection
   kEpochRegistry = 55,      // epoch_registry: fencing-token registry (§6a)
   kQueue = 50,              // blocking_queue, synced_min_queue: FQ/FQ' / PQ carriers
+  kClientRouting = 45,      // kv_client.routes: client routing-table cache (§2.1)
   kThreadingInternal = 40,  // periodic_task, semaphore, countdown_latch: heartbeats, handler pools
   kLatencyModel = 30,       // latency_rng: latency model
   kMetrics = 20,            // counter_registry: metrics
@@ -57,6 +59,7 @@ struct LockRankInfo {
 };
 
 inline constexpr LockRankInfo kLockRankTable[] = {
+    {"master.balancer", 220, true},
     {"testbed.rm", 210, true},
     {"recovery_manager", 200, true},
     {"threshold_registry", 195, false},
@@ -76,6 +79,7 @@ inline constexpr LockRankInfo kLockRankTable[] = {
     {"fault_injector", 60, false},
     {"epoch_registry", 55, false},
     {"blocking_queue, synced_min_queue", 50, false},
+    {"kv_client.routes", 45, false},
     {"periodic_task, semaphore, countdown_latch", 40, false},
     {"latency_rng", 30, false},
     {"counter_registry", 20, false},

@@ -27,6 +27,8 @@ Status Cluster::start() {
     TFR_RETURN_IF_ERROR(s->start());
     master_.add_server(s.get());
   }
+  // After the servers are registered, so the first tick sees them all.
+  master_.enable_balancer(config_.balancer);
   started_ = true;
   return Status::ok();
 }

@@ -23,6 +23,9 @@ struct ClusterConfig {
   DfsConfig dfs;
   RegionServerConfig server;
   Micros coord_check_interval = millis(10);
+  /// Master balancer (§9): disabled by default (interval == 0). Enabled on
+  /// start() once every initial server is registered.
+  BalancerConfig balancer;
 };
 
 class Cluster {

@@ -12,6 +12,58 @@ namespace tfr {
 KvClient::KvClient(Master& master, Micros retry_backoff)
     : master_(&master), retry_backoff_(retry_backoff) {}
 
+Result<RegionLocation> KvClient::locate(const std::string& table, const std::string& row) {
+  {
+    MutexLock lock(routes_mutex_);
+    auto tit = routes_.find(table);
+    if (tit != routes_.end() && !tit->second.empty()) {
+      auto it = tit->second.upper_bound(row);
+      if (it != tit->second.begin()) {
+        --it;
+        if (it->second.descriptor.contains(row)) {
+          route_hits_.fetch_add(1, std::memory_order_relaxed);
+          static Counter& hits = global_counter("kv.route_hits");
+          hits.add();
+          return it->second;
+        }
+      }
+    }
+  }
+  // Miss: ask the master with the routing lock released.
+  auto loc = master_->locate(table, row);
+  if (loc.is_ok()) {
+    route_misses_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& misses = global_counter("kv.route_misses");
+    misses.add();
+    MutexLock lock(routes_mutex_);
+    auto& regions = routes_[table];
+    const RegionDescriptor& d = loc.value().descriptor;
+    // Evict entries whose start lies inside the new range: regions never
+    // overlap, so they are necessarily stale (pre-split daughters, a
+    // pre-merge parent). The entry AT the start key is simply overwritten.
+    auto it = regions.upper_bound(d.start_key);
+    while (it != regions.end() && (d.end_key.empty() || it->first < d.end_key)) {
+      it = regions.erase(it);
+    }
+    regions[d.start_key] = loc.value();
+  }
+  return loc;
+}
+
+void KvClient::invalidate_route(const std::string& table, const std::string& row) {
+  MutexLock lock(routes_mutex_);
+  auto tit = routes_.find(table);
+  if (tit == routes_.end() || tit->second.empty()) return;
+  auto it = tit->second.upper_bound(row);
+  if (it == tit->second.begin()) return;
+  --it;
+  if (!it->second.descriptor.contains(row)) return;
+  tit->second.erase(it);
+  route_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  static Counter& invalidations = global_counter("kv.route_invalidations");
+  invalidations.add();
+}
+
 Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> piggyback_tp,
                                 bool recovery_replay, const std::atomic<bool>* cancel) {
   if (ws.mutations.empty()) return Status::ok();
@@ -32,7 +84,7 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
     std::map<std::string, std::vector<Mutation>> by_server;
     Status route_error = Status::ok();
     for (const auto& m : pending) {
-      auto loc = master_->locate(ws.table, m.row);
+      auto loc = locate(ws.table, m.row);
       if (!loc.is_ok()) {
         // Unknown table: a region always covers the full keyspace of an
         // existing table, so NotFound is permanent — fail instead of
@@ -63,10 +115,13 @@ Status KvClient::flush_writeset(const WriteSet& ws, std::optional<Timestamp> pig
           s = stub->apply_writeset(req);
         }
         if (!s.is_ok()) {
-          // WrongEpoch means the slice hit a fenced (stale) owner: re-locate
-          // through the master — which has already published the new
-          // assignment — and retry, exactly like a failover.
+          // WrongEpoch means the slice hit a fenced (stale) owner;
+          // Unavailable covers a region that moved, split or is mid-
+          // recovery. Either way the cached routes for these rows are
+          // suspect: drop them so the retry re-locates through the master —
+          // which has already published the new assignment.
           if (!s.is_unavailable() && !s.is_wrong_epoch()) return s;  // real error
+          for (const auto& m : muts) invalidate_route(ws.table, m.row);
           still_pending.insert(still_pending.end(), muts.begin(), muts.end());
         }
       }
@@ -122,7 +177,7 @@ Status KvClient::flush_writesets(const std::vector<WriteSet>& batch,
     Status route_error = Status::ok();
     for (std::size_t i = 0; i < pending.size() && route_error.is_ok(); ++i) {
       for (const auto& m : pending[i]) {
-        auto loc = master_->locate(batch[i].table, m.row);
+        auto loc = locate(batch[i].table, m.row);
         if (!loc.is_ok()) {
           if (loc.status().is_not_found()) return loc.status();  // permanent
           route_error = loc.status();
@@ -162,6 +217,7 @@ Status KvClient::flush_writesets(const std::vector<WriteSet>& batch,
           }
           any_retryable = true;
           for (auto& [ws_index, muts] : slices) {
+            for (const auto& m : muts) invalidate_route(batch[ws_index].table, m.row);
             auto& dst = still[ws_index];
             dst.insert(dst.end(), muts.begin(), muts.end());
           }
@@ -175,6 +231,7 @@ Status KvClient::flush_writesets(const std::vector<WriteSet>& batch,
           }
           any_retryable = true;
           const auto& muts = slices[slice_ws[s]];
+          for (const auto& m : muts) invalidate_route(batch[slice_ws[s]].table, m.row);
           auto& dst = still[slice_ws[s]];
           dst.insert(dst.end(), muts.begin(), muts.end());
         }
@@ -201,13 +258,18 @@ Result<std::optional<Cell>> KvClient::get(const std::string& table, const std::s
                                           int max_retries) {
   Backoff backoff(retry_backoff_, retry_backoff_ * 32);
   for (int attempt = 0;; ++attempt) {
-    auto loc = master_->locate(table, row);
+    auto loc = locate(table, row);
     if (loc.is_ok()) {
       RegionServer* stub = master_->server_stub(loc.value().server_id);
       if (stub != nullptr) {
         auto result = stub->get(table, row, column, read_ts, client_id_);
-        if (result.is_ok() || !result.status().is_unavailable()) return result;
+        if (result.is_ok() ||
+            (!result.status().is_unavailable() && !result.status().is_wrong_epoch())) {
+          return result;
+        }
       }
+      // Not serving / moved / fenced: the cached route is suspect.
+      invalidate_route(table, row);
     } else if (!loc.status().is_unavailable() && !loc.status().is_not_found()) {
       return loc.status();
     }
@@ -226,7 +288,7 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
                                          std::size_t limit, int max_retries) {
   Backoff backoff(retry_backoff_, retry_backoff_ * 32);
   for (int attempt = 0;; ++attempt) {
-    auto loc = master_->locate(table, start);
+    auto loc = locate(table, start);
     if (loc.is_ok()) {
       RegionServer* stub = master_->server_stub(loc.value().server_id);
       if (stub != nullptr) {
@@ -236,13 +298,14 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
         bool failed = false;
         std::size_t rows_left = limit;
         for (;;) {
-          auto cur = master_->locate(table, cursor);
+          auto cur = locate(table, cursor);
           if (!cur.is_ok()) {
             failed = true;
             break;
           }
           RegionServer* s = master_->server_stub(cur.value().server_id);
           if (s == nullptr) {
+            invalidate_route(table, cursor);
             failed = true;
             break;
           }
@@ -251,6 +314,9 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
               (!end.empty() && (region_end.empty() || end < region_end)) ? end : region_end;
           auto cells = s->scan(table, cursor, chunk_end, read_ts, rows_left, client_id_);
           if (!cells.is_ok()) {
+            // A chunk bounced (region split under us, moved, or fenced):
+            // drop the stale route before the outer retry re-locates.
+            invalidate_route(table, cursor);
             failed = true;
             break;
           }
@@ -287,7 +353,10 @@ Result<std::vector<Cell>> KvClient::scan(const std::string& table, const std::st
 KvClientStats KvClient::stats() const {
   return KvClientStats{flush_rpcs_.load(std::memory_order_relaxed),
                        flush_retries_.load(std::memory_order_relaxed),
-                       read_retries_.load(std::memory_order_relaxed)};
+                       read_retries_.load(std::memory_order_relaxed),
+                       route_hits_.load(std::memory_order_relaxed),
+                       route_misses_.load(std::memory_order_relaxed),
+                       route_invalidations_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace tfr

@@ -8,9 +8,16 @@
 // the target regions ... we remove the retry and timeout limits so that the
 // client keeps retrying until it succeeds" (§3.2). flush_writeset implements
 // exactly that loop.
+// Routing: clients cache the master's region locations (the routing table,
+// §2.1) and re-locate only on a staleness signal — an Unavailable (region
+// not serving / row not hosted, e.g. after a split, merge or move) or a
+// WrongEpoch from a fenced stale owner. The cache invalidates the covering
+// entry and the next attempt fetches the fresh assignment; retry pacing
+// stays with the caller's shared Backoff, so a stale route never spins.
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +31,9 @@ struct KvClientStats {
   std::int64_t flush_rpcs = 0;
   std::int64_t flush_retries = 0;
   std::int64_t read_retries = 0;
+  std::int64_t route_hits = 0;
+  std::int64_t route_misses = 0;
+  std::int64_t route_invalidations = 0;
 };
 
 class KvClient {
@@ -74,12 +84,32 @@ class KvClient {
   KvClientStats stats() const;
 
  private:
+  /// Cached-routing locate: probe the routing table first, fall back to the
+  /// master on a miss and cache the answer. The master RPC runs with the
+  /// routing lock released (it is a leaf, may_block = false).
+  Result<RegionLocation> locate(const std::string& table, const std::string& row);
+
+  /// Drop the cached route covering `row` after a staleness signal
+  /// (Unavailable / WrongEpoch); the next locate re-fetches.
+  void invalidate_route(const std::string& table, const std::string& row);
+
   Master* master_;
   Micros retry_backoff_;
   std::string client_id_;
   std::atomic<std::int64_t> flush_rpcs_{0};
   std::atomic<std::int64_t> flush_retries_{0};
   std::atomic<std::int64_t> read_retries_{0};
+  std::atomic<std::int64_t> route_hits_{0};
+  std::atomic<std::int64_t> route_misses_{0};
+  std::atomic<std::int64_t> route_invalidations_{0};
+
+  mutable RankedMutex<LockRank::kClientRouting> routes_mutex_{"kv_client.routes"};
+  /// table -> region start_key -> location. Regions of a table never
+  /// overlap, so the entry at upper_bound(row)-1 is the only candidate;
+  /// entries staled by a split/merge/move are evicted on insert (range
+  /// overlap) or on the staleness signal.
+  std::map<std::string, std::map<std::string, RegionLocation>> routes_
+      TFR_GUARDED_BY(routes_mutex_);
 };
 
 }  // namespace tfr

@@ -28,6 +28,9 @@ void Master::start() {
 }
 
 void Master::stop() {
+  // The balancer first: a tick in flight may be mid-split, about to call
+  // into servers and hooks that the rest of the shutdown tears down.
+  disable_balancer();
   if (listener_id_ != 0) {
     coord_->remove_listener("servers", listener_id_);
     listener_id_ = 0;
@@ -173,6 +176,23 @@ std::vector<std::string> Master::live_servers() const {
   return out;
 }
 
+namespace {
+
+/// Best-effort removal of a never-registered daughter/merged dir's marker
+/// files after an abandoned transition (tiny ref markers only — the dir
+/// never held data).
+void remove_stray_markers(Dfs& dfs, const std::vector<std::string>& region_names) {
+  for (const auto& name : region_names) {
+    for (const auto& path : dfs.list(region_data_dir(name))) {
+      TFR_IGNORE_STATUS(dfs.remove(path),
+                        "abandoned topology transition; markers in a never-registered "
+                        "dir are dead weight, not state — the region was never routed to");
+    }
+  }
+}
+
+}  // namespace
+
 Status Master::split_region(const std::string& region_name) {
   RegionLocation loc;
   RegionServer* stub = nullptr;
@@ -183,20 +203,188 @@ Status Master::split_region(const std::string& region_name) {
     loc = it->second;
     auto sit = servers_.find(loc.server_id);
     if (sit == servers_.end()) return Status::unavailable("no stub for " + loc.server_id);
+    if (!server_alive_[loc.server_id]) {
+      return Status::unavailable("host down for split: " + loc.server_id);
+    }
     stub = sit->second;
   }
+  // Server-side half: fence + flush the parent, choose the key, write the
+  // daughters' store-file reference markers. The parent's dir is never
+  // modified, so every abort path below leaves it reopenable as-is.
   auto children = stub->split_region(region_name);
   if (!children.is_ok()) return children.status();
   const auto& [left, right] = children.value();
+
+  MasterHooks* hooks = nullptr;
+  std::uint64_t new_epoch = 0;
   {
     MutexLock lock(mutex_);
+    auto it = assignment_.find(region_name);
+    if (it == assignment_.end() || it->second.epoch != loc.epoch) {
+      // A failure recovery re-fenced the parent while the server-side half
+      // ran (the host was declared dead — it may be a zombie behind a
+      // partition). That recovery owns the parent now and will reopen it
+      // under its higher epoch; abandon the transition.
+      lock.unlock();
+      remove_stray_markers(*dfs_, {left.name(), right.name()});
+      return Status::unavailable("split of " + region_name + " superseded by failure recovery");
+    }
+    // Commit: one epoch for the whole transition. The daughters are fenced
+    // forward, and the RETIRED parent name is bumped too so any straggling
+    // store-file finalize from a resumed parent compaction is rejected.
+    new_epoch = loc.epoch + 1;
     assignment_.erase(region_name);
-    // Children inherit the parent's ownership epoch (same server, same grant).
-    assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id, loc.epoch};
-    assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id, loc.epoch};
+    assignment_[left.name()] = RegionLocation{left.name(), left, loc.server_id, new_epoch};
+    assignment_[right.name()] = RegionLocation{right.name(), right, loc.server_id, new_epoch};
+    for (const std::string& r : {left.name(), right.name(), region_name}) {
+      if (epochs_ != nullptr) epochs_->advance_to(r, new_epoch);
+      coord_->put(kEpochPrefix + r, static_cast<std::int64_t>(new_epoch));
+    }
+    coord_->put(kSplitRecordPrefix + region_name + "|" + left.name() + "|" + right.name(),
+                static_cast<std::int64_t>(new_epoch));
+    hooks = hooks_;
+    if (hooks != nullptr) ++hook_calls_in_flight_;
+  }
+  global_counter("master.region_splits").add();
+  if (hooks != nullptr) {
+    // Floors before gates: the recovery middleware migrates any pending
+    // replay floor from the parent to the daughters before either daughter
+    // can run its gate.
+    hooks->on_region_split(region_name, {left.name(), right.name()}, new_epoch);
+    MutexLock lock(mutex_);
+    --hook_calls_in_flight_;
+    idle_cv_.notify_all();
+  }
+  for (const RegionDescriptor& child : {left, right}) {
+    Status opened = stub->open_region(child, {}, new_epoch);
+    if (!opened.is_ok()) {
+      // The daughters stay assigned (epochs and floors intact); if the host
+      // is dying, its failure recovery re-homes them like any other region.
+      TFR_LOG(WARN, "master") << "daughter " << child.name() << " failed to open on "
+                              << loc.server_id << ": " << opened
+                              << "; failure recovery will re-home it";
+      return opened;
+    }
   }
   TFR_LOG(INFO, "master") << region_name << " split into " << left.name() << " and "
-                          << right.name();
+                          << right.name() << " (epoch " << new_epoch << ")";
+  return Status::ok();
+}
+
+Status Master::merge_regions(const std::string& left_region, const std::string& right_region) {
+  RegionLocation lloc;
+  RegionLocation rloc;
+  MasterHooks* hooks = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto lit = assignment_.find(left_region);
+    auto rit = assignment_.find(right_region);
+    if (lit == assignment_.end() || rit == assignment_.end()) {
+      return Status::not_found("unknown region: " +
+                               (lit == assignment_.end() ? left_region : right_region));
+    }
+    lloc = lit->second;
+    rloc = rit->second;
+    const RegionDescriptor& ld = lloc.descriptor;
+    const RegionDescriptor& rd = rloc.descriptor;
+    if (ld.table != rd.table || ld.end_key.empty() || ld.end_key != rd.start_key) {
+      return Status::invalid_argument("regions not adjacent: " + left_region + " + " +
+                                      right_region);
+    }
+    hooks = hooks_;
+    if (hooks != nullptr) ++hook_calls_in_flight_;
+  }
+  if (hooks != nullptr) {
+    // A recovering region's pending replay floor pins the TM-log GC until
+    // its gate runs; merging it away would hand that obligation to a region
+    // whose own gate may already have passed. Refuse — the merge can retry
+    // once recovery drains. (A failure can still land between this check
+    // and the commit; on_regions_merged min-inherits floors defensively.)
+    const bool recovering =
+        hooks->is_region_recovering(left_region) || hooks->is_region_recovering(right_region);
+    {
+      MutexLock lock(mutex_);
+      --hook_calls_in_flight_;
+    }
+    idle_cv_.notify_all();
+    if (recovering) {
+      return Status::unavailable("refusing to merge while a region is recovering: " +
+                                 left_region + " + " + right_region);
+    }
+  }
+  // Co-locate both parents on the left region's host.
+  if (rloc.server_id != lloc.server_id) {
+    TFR_RETURN_IF_ERROR(move_region(right_region, lloc.server_id));
+  }
+  RegionServer* stub = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto lit = assignment_.find(left_region);
+    auto rit = assignment_.find(right_region);
+    if (lit == assignment_.end() || rit == assignment_.end()) {
+      return Status::unavailable("region vanished before merge: " + left_region + " + " +
+                                 right_region);
+    }
+    lloc = lit->second;
+    rloc = rit->second;
+    if (lloc.server_id != rloc.server_id) {
+      return Status::unavailable("parents not co-located for merge");
+    }
+    auto sit = servers_.find(lloc.server_id);
+    if (sit == servers_.end() || !server_alive_[lloc.server_id]) {
+      return Status::unavailable("host down for merge: " + lloc.server_id);
+    }
+    stub = sit->second;
+  }
+  // Server-side half (fence + flush both parents, write the merged dir's
+  // reference markers); neither parent dir is modified.
+  auto merged = stub->merge_regions(left_region, right_region);
+  if (!merged.is_ok()) return merged.status();
+  const RegionDescriptor& md = merged.value();
+
+  std::uint64_t new_epoch = 0;
+  {
+    MutexLock lock(mutex_);
+    auto lit = assignment_.find(left_region);
+    auto rit = assignment_.find(right_region);
+    if (lit == assignment_.end() || rit == assignment_.end() ||
+        lit->second.epoch != lloc.epoch || rit->second.epoch != rloc.epoch) {
+      // Re-fenced mid-merge by a failure recovery; it reopens the parents
+      // from their untouched dirs. Abandon the merged dir's markers.
+      lock.unlock();
+      remove_stray_markers(*dfs_, {md.name()});
+      return Status::unavailable("merge of " + left_region + " + " + right_region +
+                                 " superseded by failure recovery");
+    }
+    new_epoch = std::max(lloc.epoch, rloc.epoch) + 1;
+    assignment_.erase(left_region);
+    assignment_.erase(right_region);
+    assignment_[md.name()] = RegionLocation{md.name(), md, lloc.server_id, new_epoch};
+    for (const std::string& r : {md.name(), left_region, right_region}) {
+      if (epochs_ != nullptr) epochs_->advance_to(r, new_epoch);
+      coord_->put(kEpochPrefix + r, static_cast<std::int64_t>(new_epoch));
+    }
+    coord_->put(kMergeRecordPrefix + md.name() + "|" + left_region + "|" + right_region,
+                static_cast<std::int64_t>(new_epoch));
+    hooks = hooks_;
+    if (hooks != nullptr) ++hook_calls_in_flight_;
+  }
+  global_counter("master.region_merges").add();
+  if (hooks != nullptr) {
+    hooks->on_regions_merged(md.name(), {left_region, right_region}, new_epoch);
+    MutexLock lock(mutex_);
+    --hook_calls_in_flight_;
+    idle_cv_.notify_all();
+  }
+  Status opened = stub->open_region(md, {}, new_epoch);
+  if (!opened.is_ok()) {
+    TFR_LOG(WARN, "master") << "merged region " << md.name() << " failed to open on "
+                            << lloc.server_id << ": " << opened
+                            << "; failure recovery will re-home it";
+    return opened;
+  }
+  TFR_LOG(INFO, "master") << left_region << " + " << right_region << " merged into "
+                          << md.name() << " (epoch " << new_epoch << ")";
   return Status::ok();
 }
 
@@ -238,6 +426,7 @@ Status Master::move_region(const std::string& region_name, const std::string& ta
                              << " failed: " << opened;
     return opened;
   }
+  global_counter("master.region_moves").add();
   TFR_LOG(INFO, "master") << region_name << " moved " << loc.server_id << " -> "
                           << target_server;
   return Status::ok();
@@ -277,6 +466,234 @@ Result<int> Master::rebalance() {
   return moved;
 }
 
+void Master::enable_balancer(const BalancerConfig& config) {
+  disable_balancer();
+  {
+    MutexLock lock(balancer_mutex_);
+    balancer_config_ = config;
+    balancer_last_traffic_.clear();
+    balancer_last_server_load_.clear();
+  }
+  if (config.interval > 0) {
+    balancer_task_ = std::make_unique<PeriodicTask>([this] { balance_once(); }, config.interval);
+    balancer_task_->start();
+  }
+}
+
+void Master::disable_balancer() {
+  if (balancer_task_ != nullptr) {
+    balancer_task_->stop();
+    balancer_task_.reset();
+  }
+}
+
+void Master::balance_once() {
+  // One tick is one serialized topology transaction batch: the tick lock is
+  // held across split/merge/move RPCs including gated daughter opens (rank
+  // kBalancer sits above the harness/RM ranks those gates take).
+  MutexLock tick(balancer_mutex_);
+  const BalancerConfig cfg = balancer_config_;
+  const int max_actions = std::max(1, cfg.max_actions_per_tick);
+  int actions = 0;
+
+  std::map<std::string, RegionServer*> stubs;  // live servers only
+  std::map<std::string, RegionLocation> assigned;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [id, alive] : server_alive_) {
+      if (alive) stubs[id] = servers_.at(id);
+    }
+    assigned = assignment_;
+  }
+
+  // Per-region samples: size from the stub, per-tick traffic by differencing
+  // this tick's cumulative counters against the last tick's. A region whose
+  // cumulative count went DOWN restarted its counters on a new host (move/
+  // split) — its whole count is this incarnation's traffic.
+  struct Sample {
+    RegionLocation loc;
+    std::uint64_t bytes = 0;
+    std::uint64_t delta = 0;
+    bool online = false;
+  };
+  std::vector<Sample> samples;
+  std::map<std::string, std::uint64_t> traffic_now;
+  for (const auto& [id, stub] : stubs) {
+    for (const auto& rl : stub->region_loads()) {
+      auto ait = assigned.find(rl.region);
+      if (ait == assigned.end() || ait->second.server_id != id) continue;  // mid-transition
+      const std::uint64_t total = rl.reads + rl.writes;
+      auto lit = balancer_last_traffic_.find(rl.region);
+      const std::uint64_t delta =
+          (lit != balancer_last_traffic_.end() && total >= lit->second) ? total - lit->second
+                                                                        : total;
+      traffic_now[rl.region] = total;
+      samples.push_back({ait->second, rl.store_bytes, delta, rl.online});
+    }
+  }
+  // Per-server hotness from the heartbeat-piggybacked coord load reports,
+  // differenced the same way.
+  std::map<std::string, std::uint64_t> server_delta;
+  std::map<std::string, std::int64_t> server_load_now;
+  for (const auto& [id, stub] : stubs) {
+    const std::int64_t reported = coord_->get(kServerLoadPrefix + id).value_or(0);
+    auto lit = balancer_last_server_load_.find(id);
+    const std::int64_t last = lit == balancer_last_server_load_.end() ? 0 : lit->second;
+    server_delta[id] = static_cast<std::uint64_t>(reported >= last ? reported - last : reported);
+    server_load_now[id] = reported;
+  }
+  balancer_last_traffic_ = std::move(traffic_now);  // also prunes vanished regions
+  balancer_last_server_load_ = std::move(server_load_now);
+
+  // --- splits: oversized or hot regions -----------------------------------
+  for (const auto& s : samples) {
+    if (actions >= max_actions) break;
+    if (!s.online) continue;
+    const bool by_size = cfg.split_store_bytes != 0 && s.bytes > cfg.split_store_bytes;
+    const bool by_traffic = cfg.split_traffic_ops != 0 && s.delta > cfg.split_traffic_ops;
+    if (!by_size && !by_traffic) continue;
+    // InvalidArgument (fewer than two rows) and Unavailable (mid-transition,
+    // racing a failure) are normal here; the next tick retries.
+    if (split_region(s.loc.region_name).is_ok()) ++actions;
+  }
+
+  // --- merges: adjacent cold pairs ----------------------------------------
+  if (cfg.merge_traffic_ops != 0 && cfg.merge_store_bytes != 0) {
+    std::map<std::string, std::map<std::string, const Sample*>> by_table;  // start_key order
+    for (const auto& s : samples) {
+      by_table[s.loc.descriptor.table][s.loc.descriptor.start_key] = &s;
+    }
+    for (auto& [table, regions] : by_table) {
+      const Sample* prev = nullptr;
+      for (auto& [start, cur] : regions) {
+        if (actions >= max_actions) break;
+        if (prev != nullptr && prev->online && cur->online &&
+            !prev->loc.descriptor.end_key.empty() &&
+            prev->loc.descriptor.end_key == cur->loc.descriptor.start_key &&
+            prev->delta < cfg.merge_traffic_ops && cur->delta < cfg.merge_traffic_ops &&
+            prev->bytes + cur->bytes <= cfg.merge_store_bytes) {
+          if (merge_regions(prev->loc.region_name, cur->loc.region_name).is_ok()) {
+            ++actions;
+            prev = nullptr;  // the pair is consumed; don't chain into cur
+            continue;
+          }
+        }
+        prev = cur;
+      }
+    }
+  }
+
+  // --- moves ---------------------------------------------------------------
+  std::map<std::string, std::vector<const Sample*>> per_server;
+  for (const auto& [id, stub] : stubs) per_server[id];
+  for (const auto& s : samples) per_server[s.loc.server_id].push_back(&s);
+  auto coldest_region_of = [](const std::vector<const Sample*>& regions) -> const Sample* {
+    const Sample* coldest = nullptr;
+    for (const Sample* s : regions) {
+      if (!s->online) continue;
+      if (coldest == nullptr || s->delta < coldest->delta) coldest = s;
+    }
+    return coldest;
+  };
+  if (cfg.balance_region_counts && actions < max_actions && per_server.size() >= 2) {
+    // Region-count evenness (the scale-out balancer), one move per tick.
+    auto most = per_server.begin();
+    auto least = per_server.begin();
+    for (auto it = per_server.begin(); it != per_server.end(); ++it) {
+      if (it->second.size() > most->second.size()) most = it;
+      if (it->second.size() < least->second.size()) least = it;
+    }
+    if (most->second.size() > least->second.size() + 1) {
+      if (const Sample* victim = coldest_region_of(most->second)) {
+        if (move_region(victim->loc.region_name, least->first).is_ok()) ++actions;
+      }
+    }
+  }
+  if (cfg.move_load_ratio > 0 && actions < max_actions && per_server.size() >= 2) {
+    // Traffic imbalance: shed the coldest region of the hottest server onto
+    // the coldest server. Moving the coldest (not the hottest) region keeps
+    // the move cheap and convergent — a hot region is the SPLIT trigger's
+    // job, not the mover's.
+    std::string hot, cold;
+    for (const auto& [id, d] : server_delta) {
+      if (hot.empty() || d > server_delta[hot]) hot = id;
+      if (cold.empty() || d < server_delta[cold]) cold = id;
+    }
+    if (!hot.empty() && hot != cold && server_delta[hot] >= cfg.move_min_ops &&
+        static_cast<double>(server_delta[hot]) >
+            cfg.move_load_ratio * static_cast<double>(std::max<std::uint64_t>(
+                                      server_delta[cold], 1)) &&
+        per_server[hot].size() >= 2) {
+      if (const Sample* victim = coldest_region_of(per_server[hot])) {
+        if (move_region(victim->loc.region_name, cold).is_ok()) ++actions;
+      }
+    }
+  }
+
+  janitor_sweep();
+}
+
+void Master::janitor_sweep() {
+  // Reclaim retired parent dirs. Records are listed BEFORE markers: a
+  // split/merge writes its daughters' markers before its durable record, so
+  // any record visible here already has its markers visible — or they were
+  // consumed by daughter compactions, at which point the parent's files are
+  // genuinely dead.
+  struct Record {
+    std::string key;
+    std::vector<std::string> retired;
+  };
+  std::vector<Record> records;
+  for (const auto& [key, value] : coord_->list(kSplitRecordPrefix)) {
+    const std::string body = key.substr(std::string(kSplitRecordPrefix).size());
+    const auto bar = body.find('|');
+    if (bar == std::string::npos) continue;
+    records.push_back({key, {body.substr(0, bar)}});  // the parent is retired
+  }
+  for (const auto& [key, value] : coord_->list(kMergeRecordPrefix)) {
+    const std::string body = key.substr(std::string(kMergeRecordPrefix).size());
+    const auto bar1 = body.find('|');
+    if (bar1 == std::string::npos) continue;
+    const auto bar2 = body.find('|', bar1 + 1);
+    if (bar2 == std::string::npos) continue;
+    records.push_back({key, {body.substr(bar1 + 1, bar2 - bar1 - 1), body.substr(bar2 + 1)}});
+  }
+  if (records.empty()) return;
+
+  std::set<std::string> referenced;  // data dirs some live marker points into
+  for (const auto& path : dfs_->list("/data/")) {
+    const auto slash = path.rfind('/');
+    if (slash == std::string::npos || path.compare(slash + 1, 4, "ref-") != 0) continue;
+    auto target = dfs_->read_all(path);
+    if (!target.is_ok()) return;  // flaky DFS: stay conservative, retry next tick
+    const auto rslash = target.value().rfind('/');
+    if (rslash != std::string::npos) referenced.insert(target.value().substr(0, rslash + 1));
+  }
+  std::set<std::string> assigned;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, loc] : assignment_) assigned.insert(name);
+  }
+  for (const auto& rec : records) {
+    bool reclaimable = true;
+    for (const auto& r : rec.retired) {
+      if (assigned.count(r) != 0 || referenced.count(region_data_dir(r)) != 0) {
+        reclaimable = false;
+        break;
+      }
+    }
+    if (!reclaimable) continue;
+    std::size_t purged = 0;
+    for (const auto& r : rec.retired) purged += dfs_->purge_prefix(region_data_dir(r));
+    coord_->erase(rec.key);
+    if (purged > 0) {
+      global_counter("master.janitor_purged_files").add(static_cast<std::int64_t>(purged));
+      TFR_LOG(INFO, "master") << "janitor reclaimed " << purged
+                              << " files of retired region(s) behind " << rec.key;
+    }
+  }
+}
+
 void Master::on_session_event(const SessionInfo& info, bool expired) {
   {
     MutexLock lock(mutex_);
@@ -313,6 +730,62 @@ void Master::recovery_worker() {
 void Master::wait_for_idle() const {
   MutexLock lock(mutex_);
   while (in_flight_recoveries_ != 0) idle_cv_.wait(lock);
+}
+
+bool Master::replay_superseded_edits(const std::string& table,
+                                     const std::vector<WalRecord>& records) {
+  // Mirrors KvClient's routed flush, bounded: this runs on a recovery
+  // worker, and an unreachable cluster (no live server left) must degrade
+  // to "segments kept, operator required" rather than park the thread.
+  constexpr int kMaxAttempts = 2000;  // ~2 s per record at the 1 ms backoff
+  for (const WalRecord& rec : records) {
+    std::vector<Mutation> pending;
+    pending.reserve(rec.cells.size());
+    for (const Cell& c : rec.cells) {
+      pending.push_back(Mutation{c.row, c.column, c.value, c.tombstone});
+    }
+    for (int attempt = 0; !pending.empty(); ++attempt) {
+      if (attempt >= kMaxAttempts) return false;
+      // Route each row against the *current* assignment: the region may
+      // have been re-split, merged or moved since the record was written.
+      std::map<std::string, std::vector<Mutation>> by_server;
+      bool routed = true;
+      for (const auto& m : pending) {
+        auto loc = locate(table, m.row);
+        if (!loc.is_ok()) {
+          routed = false;
+          break;
+        }
+        by_server[loc.value().server_id].push_back(m);
+      }
+      if (routed) {
+        std::vector<Mutation> still_pending;
+        for (auto& [target, muts] : by_server) {
+          RegionServer* stub = server_stub(target);
+          Status s =
+              stub == nullptr ? Status::unavailable("unknown server " + target) : Status::ok();
+          if (s.is_ok()) {
+            ApplyRequest req;
+            req.txn_id = rec.txn_id;
+            req.client_id = rec.client_id;
+            req.commit_ts = rec.commit_ts;
+            req.table = table;
+            req.mutations = muts;
+            req.recovery_replay = true;  // idempotent: the owner may have some already
+            s = stub->apply_writeset(req);
+          }
+          if (!s.is_ok()) {
+            if (!s.is_unavailable() && !s.is_wrong_epoch()) return false;  // permanent
+            still_pending.insert(still_pending.end(), muts.begin(), muts.end());
+          }
+        }
+        pending = std::move(still_pending);
+        if (pending.empty()) break;
+      }
+      sleep_millis(1);
+    }
+  }
+  return true;
 }
 
 void Master::handle_server_down(const std::string& server_id, bool crashed) {
@@ -460,11 +933,35 @@ void Master::handle_server_down(const std::string& server_id, bool crashed) {
           TFR_LOG(INFO, "master") << loc.region_name
                                   << " re-fenced by a later failure; leaving it to "
                                      "that recovery";
-          // We can no longer vouch that this region's durable edits were
-          // replayed into a live owner's WAL, so keep the dead server's
-          // segments (skip the purge below). The transactional replay is
-          // still covered: the region's pending entry pins the TM-log floor
-          // at the inherited min TPr until its gate finally runs.
+          // The later handler owns the *reassignment* — but not our edits.
+          // The TM-log floor only covers write-sets above the inherited
+          // TPr; records the TM already GC'd exist solely in the dead
+          // server's WAL, i.e. in the `edits` we split out of it. The
+          // superseding handler splits only ITS dead server's WAL, and if
+          // our earlier open died before syncing (the cascade: the new
+          // owner crashed mid-open, dropping the replayed records as
+          // un-synced bytes), those WALs never got them. Re-flush them
+          // through the data path as idempotent recovery replays against
+          // whoever ends up owning the rows: each ack lands the record in
+          // a live owner's WAL and memstore, closing the gap.
+          auto eit = edits.find(loc.region_name);
+          if (eit != edits.end() && !eit->second.empty()) {
+            if (replay_superseded_edits(loc.descriptor.table, eit->second)) {
+              global_counter("master.superseded_edit_replays")
+                  .add(static_cast<std::int64_t>(eit->second.size()));
+              TFR_LOG(INFO, "master")
+                  << loc.region_name << ": re-flushed " << eit->second.size()
+                  << " split-WAL edits to the superseding owner";
+            } else {
+              TFR_LOG(ERROR, "master")
+                  << loc.region_name << ": could not re-flush " << eit->second.size()
+                  << " split-WAL edits after supersession; WAL segments kept, operator "
+                     "intervention required";
+            }
+          }
+          // Keep the dead server's segments either way (skip the purge
+          // below): they stay the recovery source of record until an
+          // operator confirms the handoff.
           all_recovered.store(false, std::memory_order_relaxed);
           break;
         }

@@ -46,6 +46,42 @@ class MasterHooks {
   /// `regions` lists the affected regions R(s).
   virtual void on_server_failure(const std::string& server_id,
                                  const std::vector<std::string>& regions) = 0;
+
+  /// `parent` was split into `daughters` under `new_epoch`. Called after
+  /// the transition is committed (assignment + durable split record) but
+  /// BEFORE the daughters are opened, so pending transactional-recovery
+  /// state can migrate to the daughters first — floors before gates: each
+  /// daughter must inherit the parent's replay floor (TP-inheritance, §3.2
+  /// extended to splits) before its replay gate can possibly fire.
+  virtual void on_region_split(const std::string& parent,
+                               const std::vector<std::string>& daughters,
+                               std::uint64_t new_epoch) {
+    (void)parent;
+    (void)daughters;
+    (void)new_epoch;
+  }
+
+  /// `parents` were merged into `merged` under `new_epoch`; same timing
+  /// contract as on_region_split (before the merged region opens). Purely
+  /// defensive — the master refuses to merge a recovering region — but a
+  /// failure can land between that check and the commit, so the middleware
+  /// still min-inherits any pending floor here.
+  virtual void on_regions_merged(const std::string& merged,
+                                 const std::vector<std::string>& parents,
+                                 std::uint64_t new_epoch) {
+    (void)merged;
+    (void)parents;
+    (void)new_epoch;
+  }
+
+  /// True while `region` has transactional recovery pending (its replay
+  /// gate has not finished). The master consults this before a merge:
+  /// merging a recovering region would fold a pinned replay floor into a
+  /// region whose gate may already have passed.
+  virtual bool is_region_recovering(const std::string& region) {
+    (void)region;
+    return false;
+  }
 };
 
 struct RegionLocation {
@@ -59,6 +95,44 @@ struct RegionLocation {
 
 /// Coord-KV prefix under which the master durably records region epochs.
 inline constexpr const char* kEpochPrefix = "/tfr/epoch/";
+
+/// Durable topology-transition records (value = the transition's new epoch).
+/// Region names never contain '|', so it separates the participants:
+///   split: /tfr/topology/split/<parent>|<left>|<right>   (parent retired)
+///   merge: /tfr/topology/merge/<merged>|<left>|<right>   (both parents retired)
+/// A record lives until the janitor has reclaimed every retired parent dir
+/// (i.e. no daughter store-file reference marker points into it any more).
+inline constexpr const char* kSplitRecordPrefix = "/tfr/topology/split/";
+inline constexpr const char* kMergeRecordPrefix = "/tfr/topology/merge/";
+
+/// Tuning for the master's balancer loop (§9). All triggers are opt-in:
+/// a zero threshold disables that trigger, interval == 0 disables the loop.
+struct BalancerConfig {
+  /// Tick period of the background loop; 0 = no background loop (ticks can
+  /// still be driven manually via Master::balance_once).
+  Micros interval = 0;
+  /// Split a region whose store grows past this many bytes (0 = off).
+  std::uint64_t split_store_bytes = 0;
+  /// Split a region serving more than this many ops per tick (0 = off).
+  std::uint64_t split_traffic_ops = 0;
+  /// Merge adjacent regions BOTH colder than this many ops per tick (0 =
+  /// merges off)...
+  std::uint64_t merge_traffic_ops = 0;
+  /// ...and whose combined store size stays under this many bytes, so a
+  /// merge cannot immediately re-trigger a size split (hysteresis).
+  std::uint64_t merge_store_bytes = 0;
+  /// Move a region off the hottest server when its per-tick load exceeds
+  /// the coldest server's by this factor (0 = traffic moves off).
+  double move_load_ratio = 0.0;
+  /// Ignore traffic ratios below this absolute per-tick load (noise floor).
+  std::uint64_t move_min_ops = 64;
+  /// Upper bound on topology transitions per tick (keeps a hot tick from
+  /// churning the whole keyspace at once).
+  int max_actions_per_tick = 4;
+  /// Also even out raw region counts (the scale-out balancer), one move
+  /// per tick.
+  bool balance_region_counts = true;
+};
 
 class Master {
  public:
@@ -91,8 +165,34 @@ class Master {
   /// The stub for a server id; nullptr when unknown.
   RegionServer* server_stub(const std::string& server_id) const;
 
-  /// Split a region on its current server and record the two children.
+  /// Split a region in place: server-side half (fence, flush, choose key,
+  /// write the daughters' store-file reference markers), then the committed
+  /// transition — epoch bump, assignment swap, durable split record,
+  /// floor-inheritance hook — and finally the daughter opens (each runs the
+  /// region gate under the new epoch). If a failure recovery re-fences the
+  /// parent while the server-side half runs, the transition aborts and that
+  /// recovery keeps ownership (it reopens the parent from its untouched
+  /// dir).
   Status split_region(const std::string& region_name);
+
+  /// Merge two adjacent regions of a table (left.end_key == right.start_key)
+  /// into one. Refused while either region has transactional recovery
+  /// pending (the hook's is_region_recovering). Co-locates `right` onto
+  /// `left`'s host first, then runs the same fenced transition as a split.
+  Status merge_regions(const std::string& left_region, const std::string& right_region);
+
+  /// Start/stop the balancer loop (§9). enable replaces any previous
+  /// config; with interval == 0 it installs the config for manual
+  /// balance_once ticks without a background thread. Not thread-safe
+  /// against itself — call from the cluster control path only.
+  void enable_balancer(const BalancerConfig& config);
+  void disable_balancer();
+
+  /// One synchronous balancer tick: split/merge/move triggers, then the
+  /// topology janitor (reclaims retired parent dirs no store-file reference
+  /// marker points into). Serialized by the balancer lock; safe to call
+  /// concurrently with the background loop.
+  void balance_once();
 
   /// Move a region to `target_server` (flush + close at the source, open
   /// from store files at the target).
@@ -131,7 +231,14 @@ class Master {
   void on_session_event(const SessionInfo& info, bool expired);
   void recovery_worker();
   void handle_server_down(const std::string& server_id, bool crashed);
+  void janitor_sweep() TFR_REQUIRES(balancer_mutex_);
   std::string pick_live_server_locked(std::size_t salt) const TFR_REQUIRES(mutex_);
+  /// Re-flush one region's split-WAL edits through the data path (routed by
+  /// row, idempotent recovery replays) when its reassignment was superseded
+  /// by a later failure — see the call site for why the edits may be the
+  /// only durable copy. Returns false if any record could not be acked by a
+  /// live owner within the bounded retry budget.
+  bool replay_superseded_edits(const std::string& table, const std::vector<WalRecord>& records);
   /// Advance a region's epoch by one: assignment map + registry + durable
   /// coord-KV record. Returns the new epoch.
   std::uint64_t bump_epoch_locked(const std::string& region_name) TFR_REQUIRES(mutex_);
@@ -159,6 +266,16 @@ class Master {
   BlockingQueue<std::pair<std::string, bool>> failures_;   // (server, crashed?)
   std::thread worker_;
   int listener_id_ = 0;
+
+  /// Balancer state. The tick lock serializes whole topology transactions
+  /// (it is held across split/merge/move RPCs including gated daughter
+  /// opens, hence its high may_block rank); the traffic maps difference
+  /// successive cumulative reports into per-tick rates.
+  mutable RankedMutex<LockRank::kBalancer> balancer_mutex_{"balancer"};
+  BalancerConfig balancer_config_ TFR_GUARDED_BY(balancer_mutex_);
+  std::map<std::string, std::uint64_t> balancer_last_traffic_ TFR_GUARDED_BY(balancer_mutex_);
+  std::map<std::string, std::int64_t> balancer_last_server_load_ TFR_GUARDED_BY(balancer_mutex_);
+  std::unique_ptr<PeriodicTask> balancer_task_;
 };
 
 }  // namespace tfr

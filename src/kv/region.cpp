@@ -27,28 +27,55 @@ std::string sanitize(std::string name) {
   }
   return name;
 }
+
+/// True for a split/merge inheritance marker ("ref-N") in a data dir.
+bool is_ref_marker(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return path.compare(slash == std::string::npos ? 0 : slash + 1, 4, "ref-") == 0;
+}
 }  // namespace
+
+std::string region_data_dir(const std::string& region_name) {
+  return "/data/" + sanitize(region_name) + "/";
+}
 
 Region::Region(RegionDescriptor desc, Dfs& dfs, BlockCache& cache,
                std::size_t store_block_bytes)
     : desc_(std::move(desc)), dfs_(&dfs), cache_(&cache),
       store_block_bytes_(store_block_bytes) {}
 
-std::string Region::data_dir() const { return "/data/" + sanitize(desc_.name()) + "/"; }
+std::string Region::data_dir() const { return region_data_dir(desc_.name()); }
 
 Status Region::load_store_files() {
   MutexLock lock(mutex_);
   files_.clear();
+  ref_markers_.clear();
   // Store files are numbered; open in path order (oldest first) and flip
   // once at the end — front-inserting each file would be quadratic in the
-  // file count.
+  // file count. "ref-" sorts before "sf-", so a daughter's inherited
+  // snapshot (the markers, numbered oldest-first by the split) stays older
+  // than every file the daughter wrote itself.
   auto paths = dfs_->list(data_dir());
   std::sort(paths.begin(), paths.end());
   std::uint64_t max_id = 0;
   for (const auto& p : paths) {
-    auto reader = StoreFileReader::open(*dfs_, p);
+    std::string target = p;
+    if (is_ref_marker(p)) {
+      // The marker's content is the real path of a retired parent's store
+      // file (already resolved — markers never chain ref -> ref).
+      // tfr-lint: blocking-ok(open-time load: the region is not serving yet, and the
+      // lock only orders this against a concurrent open — kRegion is a leaf rank)
+      auto real = dfs_->read_all(p);
+      if (!real.is_ok()) return real.status();
+      target = real.value();
+    }
+    auto reader = StoreFileReader::open(*dfs_, target);
     if (!reader.is_ok()) return reader.status();
     files_.push_back(reader.value());
+    if (target != p) {
+      ref_markers_[target] = p;
+      continue;  // markers do not advance the owned-file id sequence
+    }
     // Path suffix is the numeric file id.
     const auto pos = p.rfind("sf-");
     if (pos != std::string::npos) {
@@ -60,10 +87,19 @@ Status Region::load_store_files() {
   return Status::ok();
 }
 
-void Region::apply(const std::vector<Cell>& cells, std::uint64_t wal_seq) {
+bool Region::apply(const std::vector<Cell>& cells, std::uint64_t wal_seq) {
   MutexLock lock(mutex_);
+  // Reject under the same lock a topology transition's fencing flush holds:
+  // once a split/merge/offload has marked the region offline and drained
+  // the memstore, a racing apply must not repopulate it — the cells would
+  // be dropped with the region object. The caller surfaces Unavailable and
+  // the client re-locates; the already-written WAL record is harmless
+  // (replay is idempotent and the write was never acked).
+  if (state_.load(std::memory_order_acquire) == RegionState::kOffline) return false;
   for (const auto& c : cells) memstore_.apply(c);
   if (wal_seq != 0 && min_unflushed_wal_seq_ == 0) min_unflushed_wal_seq_ = wal_seq;
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::uint64_t Region::min_unflushed_wal_seq() const {
@@ -73,6 +109,7 @@ std::uint64_t Region::min_unflushed_wal_seq() const {
 
 Result<std::optional<Cell>> Region::get(const std::string& row, const std::string& column,
                                         Timestamp read_ts) {
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
   std::optional<Cell> best;
   std::vector<std::shared_ptr<StoreFileReader>> files;
   {
@@ -101,8 +138,14 @@ Result<std::optional<Cell>> Region::get(const std::string& row, const std::strin
   return best;
 }
 
-Result<std::vector<Cell>> Region::scan(const std::string& start, const std::string& end,
+Result<std::vector<Cell>> Region::scan(const std::string& start_in, const std::string& end_in,
                                        Timestamp read_ts, std::size_t limit) {
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  // Clip to the region's own range: inherited (referenced) parent store
+  // files can hold the sibling daughter's rows, which must never leak out.
+  const std::string& start = start_in < desc_.start_key ? desc_.start_key : start_in;
+  std::string end = end_in;
+  if (!desc_.end_key.empty() && (end.empty() || end > desc_.end_key)) end = desc_.end_key;
   if (!read_path_flags().streaming_scan.load(std::memory_order_relaxed)) {
     return scan_legacy(start, end, read_ts, limit);
   }
@@ -230,15 +273,35 @@ Status Region::compact(Timestamp prune_before_ts) {
   std::vector<std::shared_ptr<StoreFileReader>> inputs;
   {
     MutexLock lock(mutex_);
-    if (files_.size() < 2) return Status::ok();
+    // A single file normally needs no compaction — unless it is a split/
+    // merge reference, in which case compacting localizes the data (and
+    // dropping the marker is what lets the janitor reclaim the parent dir).
+    if (files_.empty() || (files_.size() < 2 && ref_markers_.empty())) return Status::ok();
     inputs = files_;
   }
+
+  // A fenced successor (a move's new host, or a daughter after a split) may
+  // attach these same paths, compact them, and delete them out from under
+  // our merge. A NotFound mid-merge in that situation is a symptom of the
+  // race, not of the data — report Unavailable so the apply path defers the
+  // compaction instead of failing the client call with NotFound.
+  auto raced = [&](Status s) -> Status {
+    if (!s.is_not_found()) return s;
+    MutexLock lock(mutex_);
+    if (state_.load(std::memory_order_acquire) == RegionState::kOffline ||
+        files_.size() != inputs.size() ||
+        !std::equal(files_.begin(), files_.end(), inputs.begin())) {
+      return Status::unavailable("compaction input vanished under a fenced successor on " +
+                                 name() + ": " + s.to_string());
+    }
+    return s;
+  };
 
   std::vector<std::unique_ptr<CellIterator>> iters;
   iters.reserve(inputs.size());
   for (const auto& f : inputs) {
     auto it = f->iterate(*cache_, "", "");
-    if (!it.is_ok()) return it.status();
+    if (!it.is_ok()) return raced(it.status());
     iters.push_back(std::move(it.value()));
   }
   MergingCellIterator merged(std::move(iters));
@@ -248,6 +311,9 @@ Status Region::compact(Timestamp prune_before_ts) {
   while (merged.valid()) {
     const std::string row = merged.cell().row;
     const std::string column = merged.cell().column;
+    // Clip to the region's range: referenced parent files carry the sibling
+    // daughter's rows too, and a daughter's own output must not re-own them.
+    const bool in_range = desc_.contains(row);
     // Versions of one column arrive newest-first. Keep everything newer
     // than the prune horizon plus the newest survivor at/below it.
     // Idempotent replay can leave byte-identical cells in several input
@@ -258,7 +324,7 @@ Status Region::compact(Timestamp prune_before_ts) {
     while (merged.valid() && merged.cell().row == row && merged.cell().column == column) {
       const Cell& c = merged.cell();
       if (have_prev && c.ts == prev_ts) {
-        TFR_RETURN_IF_ERROR(merged.advance());  // duplicate across files
+        TFR_RETURN_IF_ERROR(raced(merged.advance()));  // duplicate across files
         continue;
       }
       prev_ts = c.ts;
@@ -272,13 +338,13 @@ Status Region::compact(Timestamp prune_before_ts) {
       } else {
         keep = false;
       }
-      if (keep) {
+      if (keep && in_range) {
         writer.add(c);
         ++kept;
       } else {
         ++dropped;
       }
-      TFR_RETURN_IF_ERROR(merged.advance());
+      TFR_RETURN_IF_ERROR(raced(merged.advance()));
     }
   }
 
@@ -291,9 +357,18 @@ Status Region::compact(Timestamp prune_before_ts) {
   auto reader = StoreFileReader::open(*dfs_, path);
   if (!reader.is_ok()) return reader.status();
 
-  std::vector<std::string> obsolete;
+  std::vector<std::string> obsolete_markers;
   {
     MutexLock lock(mutex_);
+    // A split/merge/move fenced this region mid-compaction: the inputs now
+    // belong to the successor (daughter ref markers or the new host), so
+    // deleting them — or even our own just-renamed output, which the
+    // successor may already have listed and attached as an extra
+    // (idempotent-duplicate) store file — is off the table. Leak the
+    // output; the janitor reclaims it with the retired dir.
+    if (state_.load(std::memory_order_acquire) == RegionState::kOffline) {
+      return Status::unavailable("region went offline mid-compaction: " + name());
+    }
     // A flush that landed mid-compaction added a file we have not merged;
     // bail out (the new merged file is discarded) and let the caller retry.
     if (files_.size() != inputs.size() ||
@@ -303,15 +378,30 @@ Status Region::compact(Timestamp prune_before_ts) {
                         "orphan only wastes space");
       return Status::unavailable("compaction raced a flush on " + name());
     }
-    for (const auto& f : files_) obsolete.push_back(f->path());
+    for (const auto& f : files_) {
+      auto ref = ref_markers_.find(f->path());
+      if (ref == ref_markers_.end()) {
+        // Replaced input we own: delete it when the last reference drops.
+        // In the common case that is right here (our `inputs` copy at scope
+        // exit); under a racing get/scan/compaction that snapshotted files_,
+        // the reader keeps the file alive until that operation finishes.
+        f->remove_on_last_ref(cache_);
+      } else {
+        // Inherited input: drop only OUR marker. The referenced parent file
+        // stays — the sibling daughter may still read through it; the
+        // master's janitor deletes the parent dir once no marker anywhere
+        // references it.
+        obsolete_markers.push_back(ref->second);
+      }
+    }
+    ref_markers_.clear();
     files_.clear();
     files_.push_back(reader.value());
   }
-  for (const auto& p : obsolete) {
-    TFR_IGNORE_STATUS(dfs_->remove(p),
-                      "obsolete input already detached from files_; a leaked store file is "
-                      "unreferenced and harmless");
-    cache_->invalidate_prefix(p + "#");
+  for (const auto& m : obsolete_markers) {
+    TFR_IGNORE_STATUS(dfs_->remove(m),
+                      "the inherited data was just rewritten locally; a leftover marker only "
+                      "delays the janitor's parent-dir reclaim, it cannot corrupt reads");
   }
   TFR_LOG(INFO, "region") << name() << " compacted " << inputs.size() << " files -> 1 ("
                           << kept << " cells kept, " << dropped << " pruned)";
@@ -336,17 +426,75 @@ Result<std::vector<Cell>> Region::dump_cells() {
   }
   MergingCellIterator merged(std::move(iters));
   // The merge emits duplicates (identical cells replayed into several
-  // sources) adjacently; collapse them as the stream drains.
+  // sources) adjacently; collapse them as the stream drains. Out-of-range
+  // rows (a referenced parent file's sibling share) are dropped.
   std::vector<Cell> out;
   while (merged.valid()) {
     const Cell& c = merged.cell();
-    if (out.empty() || out.back().row != c.row || out.back().column != c.column ||
-        out.back().ts != c.ts) {
+    if (desc_.contains(c.row) &&
+        (out.empty() || out.back().row != c.row || out.back().column != c.column ||
+         out.back().ts != c.ts)) {
       out.push_back(c);
     }
     TFR_RETURN_IF_ERROR(merged.advance());
   }
   return out;
+}
+
+Result<std::string> Region::choose_split_key() {
+  std::vector<std::shared_ptr<StoreFileReader>> files;
+  {
+    MutexLock lock(mutex_);
+    files = files_;
+  }
+  // Prefer pure metadata: the midpoint block boundary of the largest
+  // multi-block store file (format-v2 index — no block reads). Single-block
+  // files have no interior boundary, and a midpoint outside (start, end)
+  // would make a degenerate daughter; such files fall through.
+  std::stable_sort(files.begin(), files.end(),
+                   [](const std::shared_ptr<StoreFileReader>& a,
+                      const std::shared_ptr<StoreFileReader>& b) {
+                     return a->data_bytes() > b->data_bytes();
+                   });
+  for (const auto& f : files) {
+    if (f->block_count() < 2) continue;
+    const std::string mid = f->midpoint_row();
+    if (mid > desc_.start_key && desc_.contains(mid)) return mid;
+  }
+  // Small or v1-only regions: the median distinct row of a full
+  // (range-clipped) dump. With at least two distinct rows the median
+  // differs from the smallest row, so both daughters are non-degenerate.
+  auto cells = dump_cells();
+  if (!cells.is_ok()) return cells.status();
+  std::vector<std::string> rows;
+  for (const auto& c : cells.value()) {
+    if (rows.empty() || rows.back() != c.row) rows.push_back(c.row);
+  }
+  if (rows.size() < 2) {
+    return Status::invalid_argument("region " + name() +
+                                    " holds fewer than two rows; nothing to split");
+  }
+  return rows[rows.size() / 2];
+}
+
+std::vector<std::string> Region::store_file_paths() const {
+  MutexLock lock(mutex_);
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& f : files_) paths.push_back(f->path());
+  return paths;
+}
+
+bool Region::has_references() const {
+  MutexLock lock(mutex_);
+  return !ref_markers_.empty();
+}
+
+std::uint64_t Region::store_bytes() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = memstore_.byte_size();
+  for (const auto& f : files_) total += f->data_bytes();
+  return total;
 }
 
 std::size_t Region::memstore_bytes() const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +34,11 @@ namespace tfr {
 enum class RegionState { kOpening, kGated, kOnline, kOffline };
 
 std::string_view region_state_name(RegionState s);
+
+/// DFS directory a region named `region_name` keeps its store files in.
+/// Exposed so split/merge can address a daughter's dir before any Region
+/// object for it exists.
+std::string region_data_dir(const std::string& region_name);
 
 class Region {
  public:
@@ -60,14 +66,23 @@ class Region {
   void set_epoch_registry(const EpochRegistry* epochs) { epochs_ = epochs; }
 
   /// Attach the store files this region already has in the DFS (called on
-  /// open, before replaying any edits).
+  /// open, before replaying any edits). `ref-N` marker files — written by a
+  /// split/merge, each holding the real path of a retired parent's store
+  /// file — are resolved to readers on the referenced file; compaction
+  /// later rewrites the data locally and drops the markers.
   Status load_store_files();
 
   /// Apply already-WAL-logged cells to the memstore. `wal_seq` (when
   /// non-zero) is the sequence number of the WAL record carrying these
   /// cells; the region remembers the oldest un-flushed one so the server
   /// knows which WAL segments are still needed (truncation bound).
-  void apply(const std::vector<Cell>& cells, std::uint64_t wal_seq = 0);
+  ///
+  /// Returns false — nothing applied — when the region is kOffline. The
+  /// check runs under the region mutex, the same lock a split/merge/move's
+  /// fencing flush holds: an apply racing the transition either lands
+  /// before the flush snapshot (and is captured by it) or is rejected here,
+  /// never silently left behind in a memstore about to be dropped.
+  [[nodiscard]] bool apply(const std::vector<Cell>& cells, std::uint64_t wal_seq = 0);
 
   /// Sequence number of the oldest WAL record whose cells are only in the
   /// memstore (0 when everything is flushed to store files).
@@ -102,9 +117,36 @@ class Region {
   TFR_BLOCKING Status compact(Timestamp prune_before_ts = kNoTimestamp);
 
   /// All cells of this region, every version, memstore and store files
-  /// merged and de-duplicated, in (row, column, ts desc) order. Region
-  /// splits use this to materialize the children.
+  /// merged and de-duplicated, in (row, column, ts desc) order, clipped to
+  /// the region's key range (referenced parent files can hold the sibling
+  /// daughter's rows too).
   Result<std::vector<Cell>> dump_cells();
+
+  /// The key to split this region at: the midpoint block boundary of the
+  /// largest multi-block store file (format-v2 index metadata, no block
+  /// reads), falling back to the median distinct row of a full dump for
+  /// small or v1-only regions. InvalidArgument when the region holds fewer
+  /// than two distinct rows (nothing to split).
+  Result<std::string> choose_split_key();
+
+  /// Paths of the store files currently attached, newest first. For a file
+  /// attached via a ref marker this is the referenced (real) path, so a
+  /// daughter's markers never chain ref -> ref.
+  std::vector<std::string> store_file_paths() const;
+
+  /// True while any attached store file is a split/merge inheritance (a
+  /// ref marker) rather than a file this region wrote itself.
+  bool has_references() const;
+
+  /// Total payload bytes across attached store files plus the live
+  /// memstore — the balancer's size signal for split triggers.
+  std::uint64_t store_bytes() const;
+
+  /// Cumulative served operations (gets/scans resp. applied write batches)
+  /// since this Region object was opened. Monotone per object; a region
+  /// that moves or splits starts over on its new host.
+  std::uint64_t read_ops() const { return read_ops_.load(std::memory_order_relaxed); }
+  std::uint64_t write_ops() const { return write_ops_.load(std::memory_order_relaxed); }
 
   std::size_t memstore_bytes() const;
   std::size_t store_file_count() const;
@@ -129,11 +171,18 @@ class Region {
   std::size_t store_block_bytes_;
   std::atomic<RegionState> state_{RegionState::kOpening};
   std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
   const EpochRegistry* epochs_ = nullptr;
 
   mutable RankedMutex<LockRank::kRegion> mutex_{"region"};
   Memstore memstore_ TFR_GUARDED_BY(mutex_);
   std::vector<std::shared_ptr<StoreFileReader>> files_ TFR_GUARDED_BY(mutex_);  // newest first
+  /// real store-file path -> ref marker path, for files attached through a
+  /// split/merge inheritance marker. Compaction removes the marker (never
+  /// the referenced file — the sibling daughter may still need it; the
+  /// master's janitor reclaims the parent dir once no marker points there).
+  std::map<std::string, std::string> ref_markers_ TFR_GUARDED_BY(mutex_);
   std::uint64_t next_file_id_ TFR_GUARDED_BY(mutex_) = 0;
   std::uint64_t min_unflushed_wal_seq_ TFR_GUARDED_BY(mutex_) = 0;
 };

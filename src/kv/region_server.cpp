@@ -3,6 +3,7 @@
 #include "src/kv/rpc_messages.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/fault.h"
 #include "src/common/logging.h"
@@ -133,6 +134,7 @@ void RegionServer::heartbeat_tick() {
   Status hb = coord_->heartbeat("servers", id_, payload);
   if (hb.is_ok()) {
     lease_renewed_at_.store(sent_at, std::memory_order_release);
+    report_load();
     return;
   }
   if (hb.is_unavailable() && alive()) {
@@ -145,6 +147,36 @@ void RegionServer::heartbeat_tick() {
       self_terminator_ = std::thread([this] { crash(); });
     }
   }
+}
+
+void RegionServer::report_load() {
+  // The balancer's load signal, piggybacked on the heartbeat cadence (§9):
+  // one cumulative served-ops figure per server in the coord KV, plus
+  // per-region traffic gauges for observability. The figure is cumulative —
+  // the balancer differences successive reports to get a per-tick rate.
+  std::int64_t total = 0;
+  {
+    ReaderLock lock(regions_mutex_);
+    for (const auto& [name, r] : regions_) {
+      const auto reads = static_cast<std::int64_t>(r->read_ops());
+      const auto writes = static_cast<std::int64_t>(r->write_ops());
+      total += reads + writes;
+      global_gauge("kv.region." + name + ".reads").set(reads);
+      global_gauge("kv.region." + name + ".writes").set(writes);
+    }
+  }
+  coord_->put(kServerLoadPrefix + id_, total);
+}
+
+std::vector<RegionServer::RegionLoad> RegionServer::region_loads() const {
+  std::vector<RegionLoad> out;
+  ReaderLock lock(regions_mutex_);
+  out.reserve(regions_.size());
+  for (const auto& [name, r] : regions_) {
+    out.push_back({name, r->read_ops(), r->write_ops(), r->store_bytes(),
+                   r->state() == RegionState::kOnline});
+  }
+  return out;
 }
 
 void RegionServer::self_fence() {
@@ -364,7 +396,13 @@ Status RegionServer::apply_decoded(const ApplyRequest& req) {
       }
       return seq.status();
     }
-    region->apply(cells, seq.value());
+    if (!region->apply(cells, seq.value())) {
+      // The region went offline between the admission check above and this
+      // apply — a split/merge/move fenced it. Nothing landed in the
+      // memstore, and the WAL record just appended is harmless: the write
+      // is unacked and reapplication is idempotent. The client re-locates.
+      return Status::unavailable("region " + region->name() + " went offline during apply");
+    }
     if (region->memstore_bytes() > config_.memstore_flush_bytes) {
       Status flushed = region->flush_memstore();
       if (!flushed.is_ok()) {
@@ -454,6 +492,16 @@ Result<std::vector<Cell>> RegionServer::scan(const std::string& table, const std
     return Status::unavailable("region " + region->name() + " is " +
                                std::string(region_state_name(region->state())));
   }
+  {
+    // A client whose routing table predates a split can send a scan whose
+    // range runs past this region's end key; serving it would silently drop
+    // the tail now owned by the right daughter. Reject so the client
+    // invalidates its cached route and re-locates.
+    const RegionDescriptor& d = region->descriptor();
+    if (!d.end_key.empty() && (end.empty() || end > d.end_key)) {
+      return Status::unavailable("scan range beyond region " + region->name() + " on " + id_);
+    }
+  }
   read_service_.charge();
   auto cells = region->scan(start, end, read_ts, limit);
   if (cells.is_ok()) {
@@ -491,7 +539,11 @@ Status RegionServer::open_region(const RegionDescriptor& desc,
     record.epoch = epoch;
     auto seq = wal_->append(std::move(record));
     if (!seq.is_ok()) return seq.status();
-    region->apply(edit.cells, seq.value());
+    if (!region->apply(edit.cells, seq.value())) {
+      // Only possible if this server crashed mid-open (crash() forces every
+      // region offline); the open fails and recovery re-homes the region.
+      return Status::unavailable("region " + desc.name() + " went offline during replay");
+    }
   }
   if (!recovered_edits.empty()) {
     TFR_RETURN_IF_ERROR(wal_->sync());
@@ -516,6 +568,19 @@ Status RegionServer::open_region(const RegionDescriptor& desc,
   return Status::ok();
 }
 
+namespace {
+
+/// `ref-%06zu` marker name: zero-padded so a lexicographic directory sort
+/// preserves marker order, and "ref-" < "sf-" so inherited (older) files
+/// sort before files the region writes itself.
+std::string ref_marker_name(std::size_t index) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "ref-%06zu", index);
+  return name;
+}
+
+}  // namespace
+
 Result<std::pair<RegionDescriptor, RegionDescriptor>> RegionServer::split_region(
     const std::string& region_name) {
   if (!alive()) return Status::unavailable("server down: " + id_);
@@ -525,55 +590,133 @@ Result<std::pair<RegionDescriptor, RegionDescriptor>> RegionServer::split_region
     return Status::unavailable("region not online: " + region_name);
   }
 
-  // Take the parent out of service; clients retry until the children are up.
+  // A region still reading through split/merge reference markers localizes
+  // its data first (HBase refuses to split a region with references). The
+  // markers make its apparent store size the WHOLE referenced parent file,
+  // so splitting again before localizing would cascade the size trigger
+  // down to single-row daughters.
+  if (parent->has_references()) {
+    TFR_RETURN_IF_ERROR(parent->compact(kNoTimestamp));
+  }
+
+  // Fence the parent locally: from here Region::apply rejects (under the
+  // region mutex), so the flush below captures every acked write, and a
+  // straggling compaction abandons its swap when it sees kOffline. Clients
+  // retry until the daughters come up. On any error the parent resumes
+  // serving untouched — its directory is never modified by a split.
   parent->set_state(RegionState::kOffline);
-  TFR_RETURN_IF_ERROR(parent->flush_memstore());
-  auto cells = parent->dump_cells();
-  if (!cells.is_ok()) return cells.status();
-  if (cells.value().empty()) {
+  auto abort = [&](Status why) {
     parent->set_state(RegionState::kOnline);
-    return Status::invalid_argument("nothing to split in " + region_name);
-  }
+    return why;
+  };
+  if (Status s = parent->flush_memstore(); !s.is_ok()) return abort(s);
+  auto split_key = parent->choose_split_key();
+  if (!split_key.is_ok()) return abort(split_key.status());
 
-  // Median row = split point (rows, not cells: count distinct rows).
-  std::vector<std::string> rows;
-  for (const auto& c : cells.value()) {
-    if (rows.empty() || rows.back() != c.row) rows.push_back(c.row);
-  }
-  if (rows.size() < 2) {
-    parent->set_state(RegionState::kOnline);
-    return Status::invalid_argument("single-row region cannot split: " + region_name);
-  }
-  const std::string split_key = rows[rows.size() / 2];
   const RegionDescriptor& pd = parent->descriptor();
-  // Fresh region ids: the left child shares the parent's start key and must
-  // still be distinguishable from it (name, data directory, WAL grouping).
-  RegionDescriptor left{pd.table, pd.start_key, split_key, next_region_id()};
-  RegionDescriptor right{pd.table, split_key, pd.end_key, next_region_id()};
+  // Fresh region ids: the left daughter shares the parent's start key and
+  // must still be distinguishable from it (name, data dir, WAL grouping).
+  RegionDescriptor left{pd.table, pd.start_key, split_key.value(), next_region_id()};
+  RegionDescriptor right{pd.table, split_key.value(), pd.end_key, next_region_id()};
 
-  // Materialize each child's store file, then open both. Children inherit
-  // the parent's ownership epoch (the master's assignment update keeps it).
+  // The daughters inherit the parent's store files BY REFERENCE: one ref-N
+  // marker per parent file in each daughter's dir, holding the real path.
+  // No data is rewritten at split time — reads clip to the daughter's key
+  // range, daughter compactions localize the data later, and the master's
+  // janitor reclaims the parent dir once no marker anywhere points into it.
+  // Markers are numbered oldest-first so load_store_files reconstructs the
+  // parent's age order.
+  const std::vector<std::string> inherited = parent->store_file_paths();  // newest first
   for (const RegionDescriptor& child : {left, right}) {
-    auto region_obj = std::make_shared<Region>(child, *dfs_, cache_, config_.store_block_bytes);
-    region_obj->set_epoch(parent->epoch());
-    region_obj->set_epoch_registry(epochs_);
-    TFR_RETURN_IF_ERROR(region_obj->load_store_files());
-    std::vector<Cell> child_cells;
-    for (const auto& cell : cells.value()) {
-      if (child.contains(cell.row)) child_cells.push_back(cell);
+    const std::string dir = region_data_dir(child.name());
+    for (std::size_t i = 0; i < inherited.size(); ++i) {
+      const std::string& real = inherited[inherited.size() - 1 - i];
+      if (Status s = dfs_->write_file(dir + ref_marker_name(i), real); !s.is_ok()) {
+        for (const RegionDescriptor& c : {left, right}) {
+          for (const auto& p : dfs_->list(region_data_dir(c.name()))) {
+            TFR_IGNORE_STATUS(dfs_->remove(p),
+                              "aborted split; markers in a never-registered daughter "
+                              "dir are dead weight, not state");
+          }
+        }
+        return abort(s);
+      }
     }
-    region_obj->apply(child_cells);
-    TFR_RETURN_IF_ERROR(region_obj->flush_memstore());
-    region_obj->set_state(RegionState::kOnline);
-    WriterLock lock(regions_mutex_);
-    regions_[child.name()] = std::move(region_obj);
   }
   {
     WriterLock lock(regions_mutex_);
     regions_.erase(region_name);
   }
-  TFR_LOG(INFO, "rs") << id_ << " split " << region_name << " at '" << split_key << "'";
+  TFR_LOG(INFO, "rs") << id_ << " split " << region_name << " at '" << split_key.value()
+                      << "' -> " << left.name() << " + " << right.name() << " ("
+                      << inherited.size() << " store files inherited by reference)";
   return std::make_pair(left, right);
+}
+
+Result<RegionDescriptor> RegionServer::merge_regions(const std::string& left_name,
+                                                     const std::string& right_name) {
+  if (!alive()) return Status::unavailable("server down: " + id_);
+  auto left = region(left_name);
+  auto right = region(right_name);
+  if (!left || !right) {
+    return Status::not_found("region not open: " + (left ? right_name : left_name));
+  }
+  const RegionDescriptor& ld = left->descriptor();
+  const RegionDescriptor& rd = right->descriptor();
+  if (ld.table != rd.table || ld.end_key.empty() || ld.end_key != rd.start_key) {
+    return Status::invalid_argument("regions not adjacent: " + left_name + " + " + right_name);
+  }
+  if (left->state() != RegionState::kOnline || right->state() != RegionState::kOnline) {
+    return Status::unavailable("regions not online: " + left_name + " + " + right_name);
+  }
+
+  // Same local fence as a split, applied to both parents.
+  left->set_state(RegionState::kOffline);
+  right->set_state(RegionState::kOffline);
+  auto abort = [&](Status why) {
+    left->set_state(RegionState::kOnline);
+    right->set_state(RegionState::kOnline);
+    return why;
+  };
+  if (Status s = left->flush_memstore(); !s.is_ok()) return abort(s);
+  if (Status s = right->flush_memstore(); !s.is_ok()) return abort(s);
+
+  RegionDescriptor merged{ld.table, ld.start_key, rd.end_key, next_region_id()};
+  const std::string dir = region_data_dir(merged.name());
+  // One marker per parent store file, both parents, oldest-first per
+  // parent. De-duplicated: sibling daughters merging back together can
+  // both reference the same grandparent file, which must appear once.
+  // Cross-parent age order is irrelevant for correctness — the parents
+  // cover disjoint ranges and reads resolve versions by timestamp.
+  std::vector<std::string> inherited;
+  for (const auto& parent : {left, right}) {
+    auto paths = parent->store_file_paths();   // newest first
+    std::reverse(paths.begin(), paths.end());  // oldest first
+    for (auto& p : paths) {
+      if (std::find(inherited.begin(), inherited.end(), p) == inherited.end()) {
+        inherited.push_back(std::move(p));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < inherited.size(); ++i) {
+    if (Status s = dfs_->write_file(dir + ref_marker_name(i), inherited[i]); !s.is_ok()) {
+      for (const auto& p : dfs_->list(dir)) {
+        TFR_IGNORE_STATUS(dfs_->remove(p),
+                          "aborted merge; markers in a never-registered merged dir "
+                          "are dead weight, not state");
+      }
+      return abort(s);
+    }
+  }
+  {
+    WriterLock lock(regions_mutex_);
+    regions_.erase(left_name);
+    regions_.erase(right_name);
+  }
+  TFR_LOG(INFO, "rs") << id_ << " merged " << left_name << " + " << right_name << " -> "
+                      << merged.name() << " (" << inherited.size()
+                      << " store files inherited by reference)";
+  return merged;
 }
 
 Status RegionServer::offload_region(const std::string& region_name) {

@@ -42,6 +42,11 @@ namespace tfr {
 
 class FaultInjector;
 
+/// Coord KV prefix under which each server publishes its cumulative served
+/// operation count (the balancer's piggybacked load report, refreshed on
+/// every successful heartbeat): /tfr/load/<server_id> -> total ops.
+inline constexpr const char* kServerLoadPrefix = "/tfr/load/";
+
 struct RegionServerConfig {
   int handler_slots = 16;
 
@@ -176,13 +181,26 @@ class RegionServer {
   /// exposed for tests.
   void maybe_roll_wal();
 
-  /// Split a region in two at the median of its keyspace: flush it, write
-  /// each half's cells into a fresh child region, bring both children
-  /// online, retire the parent. Returns the children's descriptors (the
-  /// master updates the assignment). Reads and writes keep working: during
-  /// the cutover the covered key range is Unavailable and clients retry.
+  /// The server-local half of a region split: fence the parent (applies
+  /// reject, the flush drains every acked write), choose the split key from
+  /// store-file metadata, write each daughter's `ref-N` store-file
+  /// reference markers (no data is rewritten), retire the parent object.
+  /// Returns the daughters' descriptors; the MASTER commits the transition
+  /// — epoch bump, assignment + durable split record, floor-inheritance
+  /// hook — and then opens the daughters (so the region gate runs under
+  /// the new epoch). On error the parent resumes serving untouched.
+  /// During the cutover the covered key range is Unavailable; clients
+  /// re-locate and retry.
   Result<std::pair<RegionDescriptor, RegionDescriptor>> split_region(
       const std::string& region_name);
+
+  /// The server-local half of merging two ADJACENT regions hosted here
+  /// (left.end_key == right.start_key): fence + flush both, write the
+  /// merged region's reference markers to both parents' store files,
+  /// retire both parent objects. Same contract as split_region: the master
+  /// commits and opens the merged region.
+  Result<RegionDescriptor> merge_regions(const std::string& left_name,
+                                         const std::string& right_name);
 
   /// Flush a region's memstore and close it here so another server can open
   /// it from its store files (region move / load balancing).
@@ -210,6 +228,16 @@ class RegionServer {
   std::vector<std::string> region_names() const;
   Wal& wal() { return *wal_; }
   BlockCache& block_cache() { return cache_; }
+
+  /// One balancer-visible load sample per hosted region.
+  struct RegionLoad {
+    std::string region;
+    std::uint64_t reads = 0;   ///< cumulative gets+scans on this host
+    std::uint64_t writes = 0;  ///< cumulative applied write batches
+    std::uint64_t store_bytes = 0;
+    bool online = false;
+  };
+  std::vector<RegionLoad> region_loads() const;
 
   /// Install a fault injector (see common/fault.h): apply_writeset / get /
   /// scan then consult it per RPC, matched against this server's id —
@@ -249,6 +277,8 @@ class RegionServer {
   /// and holds a handler slot.
   Status apply_decoded(const ApplyRequest& req);
   void heartbeat_tick();
+  /// Publish the per-server load report + per-region traffic gauges.
+  void report_load();
   /// Stop serving because the coord lease could not be renewed within the
   /// TTL: by the time the master hands our regions to a new owner, we have
   /// already quiesced (self-fence-precedes-takeover; see DESIGN.md).

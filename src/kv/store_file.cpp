@@ -101,6 +101,14 @@ Status StoreFileWriter::finish(Dfs& dfs, const std::string& path) {
   return dfs.write_file(path, file_data_);
 }
 
+StoreFileReader::~StoreFileReader() {
+  if (!remove_on_last_ref_) return;
+  TFR_IGNORE_STATUS(dfs_->remove(path_),
+                    "deferred compaction-input delete; under a fence or after a janitor sweep "
+                    "the path is the successor's (or gone), a leaked file is unreferenced");
+  if (cleanup_cache_ != nullptr) cleanup_cache_->invalidate_prefix(path_ + "#");
+}
+
 Result<std::shared_ptr<StoreFileReader>> StoreFileReader::open(Dfs& dfs, std::string path) {
   auto size = dfs.durable_size(path);
   if (!size.is_ok()) return size.status();

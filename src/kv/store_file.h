@@ -91,6 +91,22 @@ class StoreFileReader {
  public:
   static Result<std::shared_ptr<StoreFileReader>> open(Dfs& dfs, std::string path);
 
+  /// Defer the DFS file's deletion to this reader's destruction. Compaction
+  /// calls this on the inputs it replaced instead of removing their paths
+  /// eagerly: a concurrent get/scan (or a second compaction) that snapshotted
+  /// files_ still holds shared_ptrs to these readers, and deleting the file
+  /// under them turns a benign race into a NotFound surfaced to the client.
+  /// The last shared_ptr release removes the file and drops its cached
+  /// blocks; `cache` (may be null) and the Dfs must outlive every reader,
+  /// which holds because both are owned above the region layer and all
+  /// requests are synchronous.
+  void remove_on_last_ref(BlockCache* cache) {
+    cleanup_cache_ = cache;
+    remove_on_last_ref_ = true;
+  }
+
+  ~StoreFileReader();
+
   /// Newest version of (row, column) with ts <= read_ts in this file.
   /// Returns without any block fetch when the bloom filter or key range
   /// proves the row absent.
@@ -118,6 +134,22 @@ class StoreFileReader {
   Timestamp max_ts() const { return max_ts_; }
   std::size_t block_count() const { return index_.size(); }
   int format_version() const { return format_version_; }
+
+  /// Approximate payload size: the sum of all block lengths (index, meta and
+  /// footer excluded). Pure index metadata — no I/O.
+  std::uint64_t data_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& e : index_) total += e.length;
+    return total;
+  }
+
+  /// First row of the middle block — the natural split key this file's
+  /// metadata suggests, with no block reads. Only meaningful with at least
+  /// two blocks (a single-block file's midpoint is its first row, which
+  /// would make a degenerate left daughter); empty for an empty file.
+  std::string midpoint_row() const {
+    return index_.empty() ? std::string() : index_[index_.size() / 2].first_row;
+  }
 
   /// File-wide key range [first_row, last_row]; meaningful only when
   /// has_key_range() (v2 files with at least one cell).
@@ -147,6 +179,12 @@ class StoreFileReader {
 
   Dfs* dfs_;
   std::string path_;
+  // Plain (non-atomic) is enough for the deferred-delete fields: the setter
+  // runs while the setting thread still holds a reference, and the shared_ptr
+  // control block's release/acquire on the final decrement orders that write
+  // before the destructor on whichever thread drops the last reference.
+  bool remove_on_last_ref_ = false;
+  BlockCache* cleanup_cache_ = nullptr;
   Timestamp max_ts_ = kNoTimestamp;
   int format_version_ = 1;
   bool has_key_range_ = false;

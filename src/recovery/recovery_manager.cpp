@@ -347,6 +347,81 @@ void RecoveryManager::on_server_failure(const std::string& server_id,
                       << regions.size() << " regions to recover";
 }
 
+void RecoveryManager::on_region_split(const std::string& parent,
+                                      const std::vector<std::string>& daughters,
+                                      std::uint64_t new_epoch) {
+  MutexLock lock(mutex_);
+  auto pit = pending_regions_.find(parent);
+  if (pit == pending_regions_.end()) return;  // parent had nothing pending
+  const PendingRegion inherited = pit->second;
+  // TP-inheritance extended to splits: each daughter's replay bound is
+  // min-merged with the parent's TPr, under the transition's fenced epoch,
+  // and made durable FIRST — only then is the parent's entry (and marker)
+  // erased. An RM crash anywhere in between leaves a superset of the
+  // obligation, never a gap, and the TP floor never lifts (the daughters'
+  // min equals the parent's floor before the erase happens).
+  for (const auto& d : daughters) {
+    auto [it, inserted] = pending_regions_.try_emplace(
+        d, PendingRegion{inherited.failed_server, inherited.tpr, new_epoch});
+    if (!inserted) {
+      it->second.tpr = std::min(it->second.tpr, inherited.tpr);
+      it->second.fenced_epoch = std::max(it->second.fenced_epoch, new_epoch);
+    }
+    coord_->put(kRecoveringRegionPrefix + d, it->second.tpr);
+    coord_->put(kRecoveringEpochPrefix + d, static_cast<std::int64_t>(it->second.fenced_epoch));
+    ++stats_.split_floor_inheritances;
+  }
+  pending_regions_.erase(parent);
+  coord_->erase(kRecoveringRegionPrefix + parent);
+  coord_->erase(kRecoveringEpochPrefix + parent);
+  publish_locked();
+  TFR_LOG(INFO, "rm") << "split of recovering region " << parent << ": replay floor TPr="
+                      << inherited.tpr << " migrated to " << daughters.size()
+                      << " daughters (epoch " << new_epoch << ")";
+}
+
+void RecoveryManager::on_regions_merged(const std::string& merged,
+                                        const std::vector<std::string>& parents,
+                                        std::uint64_t new_epoch) {
+  MutexLock lock(mutex_);
+  Timestamp tpr = kMaxTimestamp;
+  std::string from;
+  for (const auto& p : parents) {
+    auto it = pending_regions_.find(p);
+    if (it != pending_regions_.end() && it->second.tpr < tpr) {
+      tpr = it->second.tpr;
+      from = it->second.failed_server;
+    }
+  }
+  if (tpr == kMaxTimestamp) return;  // no parent had anything pending
+  // Defensive: the master refuses to merge recovering regions, but a
+  // failure can land between its check and the commit. Same floors-first
+  // discipline as on_region_split.
+  auto [it, inserted] = pending_regions_.try_emplace(merged, PendingRegion{from, tpr, new_epoch});
+  if (!inserted) {
+    it->second.tpr = std::min(it->second.tpr, tpr);
+    it->second.fenced_epoch = std::max(it->second.fenced_epoch, new_epoch);
+  }
+  coord_->put(kRecoveringRegionPrefix + merged, it->second.tpr);
+  coord_->put(kRecoveringEpochPrefix + merged,
+              static_cast<std::int64_t>(it->second.fenced_epoch));
+  ++stats_.merge_floor_inheritances;
+  for (const auto& p : parents) {
+    pending_regions_.erase(p);
+    coord_->erase(kRecoveringRegionPrefix + p);
+    coord_->erase(kRecoveringEpochPrefix + p);
+  }
+  publish_locked();
+  TFR_LOG(WARN, "rm") << "merge folded pending replay floors of " << parents.size()
+                      << " parents into " << merged << " (TPr=" << tpr << ", epoch "
+                      << new_epoch << ")";
+}
+
+bool RecoveryManager::is_region_recovering(const std::string& region) {
+  MutexLock lock(mutex_);
+  return pending_regions_.count(region) != 0;
+}
+
 void RecoveryManager::on_region_recovered(const std::string& region_name,
                                           const std::string& server_id) {
   PendingRegion pending;
@@ -396,7 +471,13 @@ void RecoveryManager::on_region_recovered(const std::string& region_name,
     stats_.writesets_replayed_server += replayed;
     ++stats_.regions_recovered;
     auto it = pending_regions_.find(region_name);
-    if (it != pending_regions_.end() && it->second.fenced_epoch == pending.fenced_epoch) {
+    // Erase only if the entry still matches our snapshot in BOTH the fenced
+    // epoch and the replay bound: a cascade re-arm bumps the epoch, while a
+    // topology transition landing under the same name can lower only the
+    // tpr (min-inheritance) — either way the newer obligation must survive
+    // this gate's completion.
+    if (it != pending_regions_.end() && it->second.fenced_epoch == pending.fenced_epoch &&
+        it->second.tpr == pending.tpr) {
       // Release this region's TP floor; once the last region of the failure
       // is erased the replayed write-sets are the hosting servers'
       // responsibility (they inherited TPr(s) via the piggyback).

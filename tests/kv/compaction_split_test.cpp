@@ -31,7 +31,7 @@ class CompactionTest : public ::testing::Test {
 TEST_F(CompactionTest, MergesFilesIntoOne) {
   auto region = make_region();
   for (Timestamp ts = 1; ts <= 3; ++ts) {
-    region->apply({Cell{"r" + std::to_string(ts), "c", "v" + std::to_string(ts), ts, false}});
+    ASSERT_TRUE(region->apply({Cell{"r" + std::to_string(ts), "c", "v" + std::to_string(ts), ts, false}}));
     ASSERT_TRUE(region->flush_memstore().is_ok());
   }
   ASSERT_EQ(region->store_file_count(), 3u);
@@ -45,9 +45,9 @@ TEST_F(CompactionTest, MergesFilesIntoOne) {
 
 TEST_F(CompactionTest, KeepsAllVersionsWithoutPruning) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "old", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "old", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "new", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "new", 5, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   ASSERT_TRUE(region->compact(kNoTimestamp).is_ok());
   EXPECT_EQ(region->get("r", "c", 2).value()->value, "old");
@@ -56,11 +56,11 @@ TEST_F(CompactionTest, KeepsAllVersionsWithoutPruning) {
 
 TEST_F(CompactionTest, PruningDropsUnreachableVersions) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "v1", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v1", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "v2", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v2", 5, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "v3", 9, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v3", 9, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   // No snapshot below 6 is in use: v1 is unreachable (v2 is the survivor).
   ASSERT_TRUE(region->compact(/*prune_before_ts=*/6).is_ok());
@@ -72,11 +72,11 @@ TEST_F(CompactionTest, PruningDropsUnreachableVersions) {
 
 TEST_F(CompactionTest, PruningCollapsesDeletedColumns) {
   auto region = make_region();
-  region->apply({Cell{"dead", "c", "v", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"dead", "c", "v", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"dead", "c", "", 3, true}});  // tombstone
+  ASSERT_TRUE(region->apply({Cell{"dead", "c", "", 3, true}}));  // tombstone
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"live", "c", "v", 4, false}});
+  ASSERT_TRUE(region->apply({Cell{"live", "c", "v", 4, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   ASSERT_TRUE(region->compact(/*prune_before_ts=*/5).is_ok());
   EXPECT_FALSE(region->get("dead", "c", 100).value().has_value());
@@ -88,9 +88,9 @@ TEST_F(CompactionTest, PruningCollapsesDeletedColumns) {
 
 TEST_F(CompactionTest, OldFilesRemovedFromDfs) {
   auto region = make_region();
-  region->apply({Cell{"a", "c", "v", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"a", "c", "v", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"b", "c", "v", 2, false}});
+  ASSERT_TRUE(region->apply({Cell{"b", "c", "v", 2, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   ASSERT_EQ(dfs_.list(region->data_dir()).size(), 2u);
   ASSERT_TRUE(region->compact().is_ok());
@@ -99,7 +99,7 @@ TEST_F(CompactionTest, OldFilesRemovedFromDfs) {
 
 TEST_F(CompactionTest, SingleFileIsNoop) {
   auto region = make_region();
-  region->apply({Cell{"a", "c", "v", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"a", "c", "v", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   ASSERT_TRUE(region->compact().is_ok());
   EXPECT_EQ(region->store_file_count(), 1u);
@@ -107,9 +107,9 @@ TEST_F(CompactionTest, SingleFileIsNoop) {
 
 TEST_F(CompactionTest, DumpCellsMergesMemstoreAndFiles) {
   auto region = make_region();
-  region->apply({Cell{"a", "c", "flushed", 1, false}});
+  ASSERT_TRUE(region->apply({Cell{"a", "c", "flushed", 1, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"b", "c", "buffered", 2, false}});
+  ASSERT_TRUE(region->apply({Cell{"b", "c", "buffered", 2, false}}));
   auto cells = region->dump_cells().value();
   ASSERT_EQ(cells.size(), 2u);
   EXPECT_EQ(cells[0].row, "a");

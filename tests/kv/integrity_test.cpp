@@ -36,7 +36,7 @@ TEST(IntegrityTest, CorruptedStoreFileBlockIsDetected) {
   Region region(RegionDescriptor{"t", "", ""}, dfs, cache);
   ASSERT_TRUE(region.load_store_files().is_ok());
   region.set_state(RegionState::kOnline);
-  region.apply({Cell{"row", "c", std::string(64, 'v'), 1, false}});
+  ASSERT_TRUE(region.apply({Cell{"row", "c", std::string(64, 'v'), 1, false}}));
   ASSERT_TRUE(region.flush_memstore().is_ok());
   const auto paths = dfs.list(region.data_dir());
   ASSERT_EQ(paths.size(), 1u);

@@ -131,14 +131,14 @@ TEST_P(ReadPathPropertyTest, ReadsMatchOracleAndLegacyPath) {
         ++next_ts;
         batch.push_back(cell);
       }
-      region.apply(batch);
+      ASSERT_TRUE(region.apply(batch));
       for (const Cell& cell : batch) model[{cell.row, cell.column}][cell.ts] = cell;
       past_batches.push_back(std::move(batch));
     } else if (dice < 0.55 && !past_batches.empty()) {
       // Idempotent replay: re-apply an old batch verbatim (duplicate
       // (row, column, ts) cells across memstore and files).
       const auto& batch = past_batches[rng.next_below(past_batches.size())];
-      region.apply(batch);  // model unchanged: same cells
+      ASSERT_TRUE(region.apply(batch));  // model unchanged: same cells
     } else if (dice < 0.65) {
       ASSERT_TRUE(region.flush_memstore().is_ok());
     } else if (dice < 0.70) {

@@ -23,7 +23,7 @@ class RegionTest : public ::testing::Test {
 
 TEST_F(RegionTest, ApplyAndGetFromMemstore) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "v", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v", 5, false}}));
   auto cell = region->get("r", "c", 10);
   ASSERT_TRUE(cell.is_ok());
   ASSERT_TRUE(cell.value().has_value());
@@ -32,7 +32,7 @@ TEST_F(RegionTest, ApplyAndGetFromMemstore) {
 
 TEST_F(RegionTest, FlushMovesDataToStoreFilesAndReadsStillWork) {
   auto region = make_region();
-  region->apply({Cell{"r1", "c", "v1", 5, false}, Cell{"r2", "c", "v2", 6, false}});
+  ASSERT_TRUE(region->apply({Cell{"r1", "c", "v1", 5, false}, Cell{"r2", "c", "v2", 6, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   EXPECT_EQ(region->memstore_bytes(), 0u);
   EXPECT_EQ(region->store_file_count(), 1u);
@@ -42,18 +42,18 @@ TEST_F(RegionTest, FlushMovesDataToStoreFilesAndReadsStillWork) {
 
 TEST_F(RegionTest, MemstoreShadowsOlderStoreFileVersions) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "old", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "old", 5, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "new", 9, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "new", 9, false}}));
   EXPECT_EQ(region->get("r", "c", 10).value()->value, "new");
   EXPECT_EQ(region->get("r", "c", 6).value()->value, "old");
 }
 
 TEST_F(RegionTest, NewerStoreFileWinsOverOlder) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "first", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "first", 5, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "second", 8, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "second", 8, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   EXPECT_EQ(region->store_file_count(), 2u);
   EXPECT_EQ(region->get("r", "c", 10).value()->value, "second");
@@ -66,9 +66,9 @@ TEST_F(RegionTest, GetDuplicateCellAcrossFiles) {
   // pins the behaviour the skip predicate's comment relies on.
   auto region = make_region();
   const Cell dup{"r", "c", "v-replayed", 7, false};
-  region->apply({dup});
+  ASSERT_TRUE(region->apply({dup}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({dup});  // replayed write-set: the identical cell again
+  ASSERT_TRUE(region->apply({dup}));  // replayed write-set: the identical cell again
   ASSERT_TRUE(region->flush_memstore().is_ok());
   ASSERT_EQ(region->store_file_count(), 2u);
   EXPECT_EQ(region->get("r", "c", 10).value()->value, "v-replayed");
@@ -78,7 +78,7 @@ TEST_F(RegionTest, GetDuplicateCellAcrossFiles) {
   ASSERT_TRUE(cells.is_ok());
   ASSERT_EQ(cells.value().size(), 1u);
   // A strictly newer version in a third file still wins over both copies.
-  region->apply({Cell{"r", "c", "v-new", 9, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v-new", 9, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
   EXPECT_EQ(region->get("r", "c", 10).value()->value, "v-new");
   EXPECT_EQ(region->get("r", "c", 8).value()->value, "v-replayed");
@@ -86,9 +86,9 @@ TEST_F(RegionTest, GetDuplicateCellAcrossFiles) {
 
 TEST_F(RegionTest, TombstoneHidesValueAcrossFlush) {
   auto region = make_region();
-  region->apply({Cell{"r", "c", "v", 5, false}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "v", 5, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"r", "c", "", 8, true}});
+  ASSERT_TRUE(region->apply({Cell{"r", "c", "", 8, true}}));
   EXPECT_FALSE(region->get("r", "c", 10).value().has_value());
   EXPECT_TRUE(region->get("r", "c", 6).value().has_value());
 }
@@ -101,9 +101,9 @@ TEST_F(RegionTest, EmptyFlushIsNoop) {
 
 TEST_F(RegionTest, ScanMergesMemstoreAndFiles) {
   auto region = make_region();
-  region->apply({Cell{"a", "c", "va-old", 1, false}, Cell{"b", "c", "vb", 2, false}});
+  ASSERT_TRUE(region->apply({Cell{"a", "c", "va-old", 1, false}, Cell{"b", "c", "vb", 2, false}}));
   ASSERT_TRUE(region->flush_memstore().is_ok());
-  region->apply({Cell{"a", "c", "va-new", 5, false}, Cell{"c", "c", "vc", 6, false}});
+  ASSERT_TRUE(region->apply({Cell{"a", "c", "va-new", 5, false}, Cell{"c", "c", "vc", 6, false}}));
   auto cells = region->scan("", "", 10, 0).value();
   ASSERT_EQ(cells.size(), 3u);
   EXPECT_EQ(cells[0].value, "va-new");
@@ -114,7 +114,7 @@ TEST_F(RegionTest, ScanMergesMemstoreAndFiles) {
 TEST_F(RegionTest, ScanRespectsLimit) {
   auto region = make_region();
   for (int i = 0; i < 10; ++i) {
-    region->apply({Cell{"row" + std::to_string(i), "c", "v", 1, false}});
+    ASSERT_TRUE(region->apply({Cell{"row" + std::to_string(i), "c", "v", 1, false}}));
   }
   EXPECT_EQ(region->scan("", "", 10, 3).value().size(), 3u);
 }
@@ -124,7 +124,7 @@ TEST_F(RegionTest, ReopenedRegionFindsItsStoreFiles) {
   {
     Region first(desc, dfs_, cache_);
     ASSERT_TRUE(first.load_store_files().is_ok());
-    first.apply({Cell{"r", "c", "persisted", 3, false}});
+    ASSERT_TRUE(first.apply({Cell{"r", "c", "persisted", 3, false}}));
     ASSERT_TRUE(first.flush_memstore().is_ok());
   }
   // A different server opens the region: store files come back from the DFS.
@@ -133,7 +133,7 @@ TEST_F(RegionTest, ReopenedRegionFindsItsStoreFiles) {
   EXPECT_EQ(second.store_file_count(), 1u);
   EXPECT_EQ(second.get("r", "c", 10).value()->value, "persisted");
   // And its next flush does not clobber the old file.
-  second.apply({Cell{"r2", "c", "more", 4, false}});
+  ASSERT_TRUE(second.apply({Cell{"r2", "c", "more", 4, false}}));
   ASSERT_TRUE(second.flush_memstore().is_ok());
   EXPECT_EQ(second.store_file_count(), 2u);
 }

@@ -133,7 +133,7 @@ TEST_P(CompactionPropertyTest, VisibleStateUnchangedAboveHorizon) {
       const std::string row = "row" + std::to_string(rng.next_below(30));
       cells.push_back(Cell{row, "c", "v" + std::to_string(ts + 1), ++ts, rng.next_bool(0.15)});
     }
-    region.apply(cells);
+    ASSERT_TRUE(region.apply(cells));
     ASSERT_TRUE(region.flush_memstore().is_ok());
   }
 
